@@ -1,0 +1,47 @@
+"""Benchmark-suite configuration.
+
+Every paper artifact gets one benchmark module.  Each benchmark runs the
+corresponding experiment exactly once per pytest-benchmark round (the
+experiments are deterministic; repeating them only measures wall-clock noise
+of the simulator itself, which *is* what pytest-benchmark reports — the
+simulated times live in the attached ``extra_info``).
+
+The dataset tier is selected with the ``REPRO_BENCH_TIER`` environment
+variable (``tiny`` / ``small`` / ``bench``); the default ``small`` keeps the
+whole suite in the minutes range.  EXPERIMENTS.md records ``bench``-tier
+numbers produced via the CLI runner.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import Table, run_experiment
+
+
+def bench_tier() -> str:
+    tier = os.environ.get("REPRO_BENCH_TIER", "small")
+    assert tier in ("tiny", "small", "bench")
+    return tier
+
+
+@pytest.fixture(scope="session")
+def tier() -> str:
+    return bench_tier()
+
+
+def run_and_record(benchmark, exp_id: str, tier: str, **kw) -> Table:
+    """Run one experiment under the benchmark timer and attach its table."""
+    result: dict[str, Table] = {}
+
+    def once() -> None:
+        result["table"] = run_experiment(exp_id, tier=tier, **kw)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    table = result["table"]
+    benchmark.extra_info["tier"] = tier
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["rows"] = len(table.rows)
+    return table

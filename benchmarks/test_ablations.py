@@ -1,0 +1,71 @@
+"""Ablation benchmarks (beyond the paper; see DESIGN.md Sec. 7)."""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_abl_coloring_duplication_vs_parallelism(benchmark, tier):
+    table = run_and_record(benchmark, "abl_coloring", tier)
+    instr = table.column("Total instr (M)")
+    max_dpu = table.column("Max-DPU ms")
+    # Duplication costs bounded extra instructions (< 6x the C=1 total even
+    # at the largest sweep point)...
+    assert instr[-1] < 6 * instr[0]
+    # ...while the critical-path DPU time keeps dropping.
+    assert max_dpu[-1] < max_dpu[0]
+
+
+def test_abl_uniform_reservoir_composition(benchmark, tier):
+    table = run_and_record(benchmark, "abl_compose", tier)
+    rows = {r[0]: r for r in table.rows}
+    # Exact row really is exact.
+    assert float(rows["exact"][2].rstrip("%")) == 0.0
+    # Composition reduces sample-creation time vs reservoir alone
+    # (uniform pre-sampling shrinks the transfer volume).
+    assert rows["both"][3] <= rows["reservoir f=0.25"][3]
+
+
+def test_abl_energy_ledger(benchmark, tier):
+    table = run_and_record(benchmark, "abl_energy", tier)
+    energy = table.column("Dynamic mJ")
+    latency = table.column("Count ms")
+    # More cores: more total energy (duplication), less latency.
+    assert energy[-1] > energy[0]
+    assert latency[-1] < latency[0]
+
+
+def test_abl_merge_vs_probe_kernels(benchmark, tier):
+    table = run_and_record(benchmark, "abl_kernels", tier)
+    assert all(table.column("Exact?"))
+    for row in table.rows:
+        # Streaming merge beats random probing on every graph (DMA latency).
+        assert row[1] < row[2]
+    rows = {r[0]: r for r in table.rows}
+    assert rows["wikipedia"][4] == "merge+MG"
+
+
+def test_abl_dynamic_batch_sweep(benchmark, tier):
+    table = run_and_record(benchmark, "abl_dynamic", tier)
+    assert all(table.column("Exact?"))
+    # Finer update granularity favors PIM over the reconverting CPU.
+    speedups = table.column("PIM speedup")
+    assert speedups[-1] > speedups[0]
+
+
+def test_abl_tasklet_saturation(benchmark, tier):
+    table = run_and_record(benchmark, "abl_tasklets", tier)
+    assert all(table.column("Exact?"))
+    rows = {r[0]: r for r in table.rows}
+    # PrIM curve: near-linear to 11 tasklets, < 15% beyond.
+    assert rows[11][2] > 5.0
+    assert rows[16][2] / rows[11][2] < 1.15
+
+
+def test_abl_host_threads(benchmark, tier):
+    table = run_and_record(benchmark, "abl_host", tier)
+    assert all(table.column("Exact?"))
+    samples = table.column("Sample ms")
+    assert samples[-1] <= samples[0]
+    counts = table.column("Count ms")
+    assert max(counts) - min(counts) < 1e-6

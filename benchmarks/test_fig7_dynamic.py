@@ -1,0 +1,35 @@
+"""Figure 7 benchmark: dynamic COO updates, cumulative time over 10 rounds.
+
+Shape checks: the CPU baseline's cumulative time accelerates (it pays a full
+COO->CSR conversion of the growing graph every round) while the PIM
+implementation's per-round cost stays bounded, overtaking the CPU within the
+10 updates — the paper's headline dynamic-graph result.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_fig7_dynamic_updates(benchmark, tier):
+    table = run_and_record(benchmark, "fig7", tier)
+    cpu = table.column("CPU cum ms")
+    pim = table.column("PIM cum ms")
+    gpu = table.column("GPU cum ms")
+
+    # CPU cumulative time accelerates: the second half costs more than the first.
+    assert cpu[-1] - cpu[len(cpu) // 2] > cpu[len(cpu) // 2] - cpu[0]
+
+    # GPU (COO-native) stays below the CPU throughout.
+    assert all(g < c for g, c in zip(gpu[2:], cpu[2:]))
+
+    if tier != "tiny":
+        # The PIM implementation ends ahead of the CPU (speedup > 1 by round 10).
+        assert table.rows[-1][6] > 1.0
+
+    # PIM's per-round cost must not accelerate like the CPU's.
+    pim_first = pim[len(pim) // 2] - pim[0]
+    pim_second = pim[-1] - pim[len(pim) // 2]
+    cpu_ratio = (cpu[-1] - cpu[len(cpu) // 2]) / max(cpu[len(cpu) // 2] - cpu[0], 1e-9)
+    pim_ratio = pim_second / max(pim_first, 1e-9)
+    assert pim_ratio < cpu_ratio

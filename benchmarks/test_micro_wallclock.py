@@ -1,0 +1,80 @@
+"""Microbenchmarks of the library's own hot paths (real wall-clock).
+
+Unlike the experiment benchmarks (which report *simulated* PIM time), these
+measure the actual Python/NumPy throughput of the building blocks — the
+numbers a user of this library cares about when scaling it up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coloring.partition import ColoringPartitioner
+from repro.common.rng import RngFactory
+from repro.core.kernel_tc_fast import fast_count
+from repro.core.orient import orient_and_sort
+from repro.graph.datasets import get_dataset
+from repro.graph.triangles import count_triangles
+from repro.streaming.misra_gries import MisraGries
+from repro.streaming.reservoir import EdgeReservoir
+
+from conftest import bench_tier
+
+TIER = bench_tier()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_dataset("kronecker23", TIER)
+
+
+def test_oracle_count_wallclock(benchmark, graph):
+    result = benchmark(count_triangles, graph)
+    assert result > 0
+
+
+def test_fast_kernel_wallclock(benchmark, graph):
+    result = benchmark(fast_count, graph.src, graph.dst, graph.num_nodes)
+    assert result.triangles == count_triangles(graph)
+
+
+def test_orient_and_sort_wallclock(benchmark, graph):
+    u, v, _ = benchmark(orient_and_sort, graph.src, graph.dst)
+    assert u.size == graph.num_edges
+
+
+def test_partition_assign_wallclock(benchmark, graph):
+    partitioner = ColoringPartitioner(8, RngFactory(0).stream("c"))
+    part = benchmark(partitioner.assign, graph)
+    assert part.total_routed == 8 * graph.num_edges
+
+
+def test_reservoir_batch_wallclock(benchmark, graph):
+    def offer():
+        r = EdgeReservoir(graph.num_edges // 10, RngFactory(0).stream("r"))
+        r.offer_batch(graph.src, graph.dst)
+        return r
+
+    r = benchmark(offer)
+    assert r.size == graph.num_edges // 10
+
+
+def test_misra_gries_batch_wallclock(benchmark, graph):
+    stream = np.concatenate([graph.src, graph.dst])
+
+    def update():
+        mg = MisraGries(1024)
+        mg.update_array(stream)
+        return mg
+
+    mg = benchmark(update)
+    assert mg.size <= 1024
+
+
+def test_color_hash_wallclock(benchmark, graph):
+    from repro.common.hashing import ColorHash
+
+    h = ColorHash.random(16, RngFactory(1).stream("h"))
+    colors = benchmark(h.color_array, graph.src)
+    assert colors.max() < 16

@@ -1,0 +1,15 @@
+"""Cost-model sensitivity benchmark: the Fig. 3 shape must survive 0.5x/2x
+perturbations of every load-bearing calibration constant (DESIGN.md Sec. 6)."""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_abl_sensitivity_fig3_shape_robust(benchmark, tier):
+    table = run_and_record(benchmark, "abl_sensitivity", tier)
+    assert all(table.column("Holds?")), (
+        "the hub-collapse shape must hold under every cost perturbation"
+    )
+    # 11 rows: baseline + 5 constants x 2 factors.
+    assert len(table.rows) == 11

@@ -1,0 +1,27 @@
+"""Benchmarks for Tables 1 and 2: dataset construction + statistics.
+
+Regenerates the paper's graph-inventory tables; the benchmark time is
+dominated by the exact triangle oracle, i.e. it measures the ground-truth
+pipeline every other experiment leans on.
+"""
+
+from __future__ import annotations
+
+from conftest import run_and_record
+
+
+def test_tab1_graph_inventory(benchmark, tier):
+    table = run_and_record(benchmark, "tab1", tier)
+    assert len(table.rows) == 7
+    # v1r is the triangle-poor graph at every tier.
+    tri = dict(zip(table.column("Graph"), table.column("Triangles")))
+    assert tri["v1r"] == min(tri.values())
+
+
+def test_tab2_degree_stats(benchmark, tier):
+    table = run_and_record(benchmark, "tab2", tier)
+    degs = dict(zip(table.column("Graph"), table.column("Max degree")))
+    # The paper's high-degree trio must sit above every other graph.
+    low = max(v for k, v in degs.items() if k in ("v1r", "livejournal", "orkut", "humanjung"))
+    assert degs["wikipedia"] > low
+    assert degs["kronecker24"] > low

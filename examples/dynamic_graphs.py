@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Dynamic graphs: why COO-native counting wins on update streams (Fig. 7).
+
+Splits a hub-heavy graph into 10 update batches and processes them on three
+platforms:
+
+* CPU baseline — must re-convert the whole cumulative COO list to CSR before
+  every counting round;
+* GPU baseline — ingests COO directly, pays only per-round overhead;
+* PIM implementation — routes only the new edges to the cores, merges them
+  into each core's sorted sample, counts incrementally (with a streaming
+  Misra-Gries remap keeping the hub penalty away).
+
+Run:  python examples/dynamic_graphs.py
+"""
+
+from __future__ import annotations
+
+from repro import DynamicPimCounter
+from repro.baselines import CpuDynamicDriver, GpuDynamicDriver
+from repro.graph import count_triangles, get_dataset
+
+
+def main() -> None:
+    graph = get_dataset("wikipedia", tier="small")
+    batches = graph.split_batches(10)
+    print(
+        f"{graph.name}: {graph.num_edges} edges in {len(batches)} update batches\n"
+    )
+
+    cpu = CpuDynamicDriver(graph.num_nodes)
+    gpu = GpuDynamicDriver(graph.num_nodes)
+    pim = DynamicPimCounter(
+        graph.num_nodes, num_colors=8, seed=3, misra_gries_k=1024, misra_gries_t=64
+    )
+
+    print(
+        f"{'round':>5} {'edges':>8} {'triangles':>10} "
+        f"{'CPU cum':>10} {'GPU cum':>10} {'PIM cum':>10}"
+    )
+    for batch in batches:
+        c = cpu.apply_update(batch)
+        g = gpu.apply_update(batch)
+        p = pim.apply_update(batch)
+        assert c.triangles_total == p.triangles_total
+        print(
+            f"{c.round_index:>5} {c.cumulative_edges:>8} {c.triangles_total:>10} "
+            f"{c.cumulative_seconds * 1e3:>8.2f}ms {g.cumulative_seconds * 1e3:>8.2f}ms "
+            f"{p.cumulative_seconds * 1e3:>8.2f}ms"
+        )
+
+    assert pim.triangles == count_triangles(graph)
+    print(
+        f"\nfinal: PIM {pim.cumulative_seconds * 1e3:.2f}ms vs "
+        f"CPU {cpu.cumulative_seconds * 1e3:.2f}ms "
+        f"({cpu.cumulative_seconds / pim.cumulative_seconds:.2f}x speedup) — "
+        "the CPU's per-round CSR conversion is what the paper's Fig. 7 punishes."
+    )
+
+
+if __name__ == "__main__":
+    main()

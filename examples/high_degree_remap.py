@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""High-degree nodes and the Misra-Gries cure (Figs. 3 and 5).
+
+The ID-ordered edge-iterator kernel slows down badly on graphs with extreme
+hubs: an edge (u, v) with a hub u drags the hub's whole forward adjacency
+through every merge.  This example shows the effect and the fix:
+
+1. throughput collapse on a hub graph vs a flat graph of equal size (Fig. 3);
+2. a (K, t) sweep of the Misra-Gries remap restoring the throughput (Fig. 5);
+3. a peek inside: the hub's forward degree before and after remapping.
+
+Run:  python examples/high_degree_remap.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PimTriangleCounter
+from repro.common.rng import RngFactory
+from repro.core import apply_remap, build_region_index, orient_and_sort, RemapTable
+from repro.graph import erdos_renyi, hub_graph
+
+
+def main() -> None:
+    rngs = RngFactory(5)
+    n, m = 30_000, 30_000
+    flat = erdos_renyi(n, m, rngs.stream("flat"), name="flat").canonicalize()
+    hubby = hub_graph(
+        n, m - 3 * 9_000, 3, 9_000, rngs.stream("hub"), name="hubby"
+    ).canonicalize()
+    print(
+        f"flat:  {flat.num_edges} edges, max degree {flat.degrees().max()}\n"
+        f"hubby: {hubby.num_edges} edges, max degree {hubby.degrees().max()}\n"
+    )
+
+    # --- Fig. 3 in miniature: same size, very different throughput ----------
+    counter = PimTriangleCounter(num_colors=6, seed=2)
+    for g in (flat, hubby):
+        r = counter.count(g)
+        print(
+            f"{g.name:<6} throughput {r.throughput_edges_per_ms():>10,.0f} edges/ms "
+            f"(count phase {r.triangle_count_seconds * 1e3:.2f} ms)"
+        )
+
+    # --- Fig. 5 in miniature: sweep K and t on the hub graph ----------------
+    print("\nMisra-Gries sweep on the hub graph:")
+    base_ms = None
+    for k, t in ((0, 0), (64, 1), (256, 4), (1024, 16)):
+        c = PimTriangleCounter(num_colors=6, seed=2, misra_gries_k=k, misra_gries_t=t)
+        r = c.count(hubby)
+        ms = r.triangle_count_seconds * 1e3
+        base_ms = base_ms or ms
+        print(
+            f"  K={k:<5} t={t:<3} count {ms:7.2f} ms  "
+            f"speedup {base_ms / ms:5.2f}x  (T={r.count})"
+        )
+
+    # --- Why it works: the hub's forward adjacency empties ------------------
+    hub = int(np.argmax(hubby.degrees()))
+    u, v, _ = orient_and_sort(hubby.src, hubby.dst)
+    before = int(build_region_index(u).degrees_of(np.array([hub]))[0])
+    table = RemapTable(nodes=np.array([hub]), num_nodes=hubby.num_nodes)
+    ru, rv = apply_remap(table, hubby.src, hubby.dst)
+    u2, v2, _ = orient_and_sort(ru, rv)
+    after = int(
+        build_region_index(u2).degrees_of(np.array([table.remapped_num_nodes - 1]))[0]
+    )
+    print(
+        f"\nhub node {hub}: forward degree {before} before remap, {after} after "
+        "(highest ID = nothing left to iterate)."
+    )
+
+
+if __name__ == "__main__":
+    main()

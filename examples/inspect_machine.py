@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Looking inside the simulated machine: trace timeline + energy ledger.
+
+Every run records an operation-level trace (allocation, kernel load,
+transfers, launches) and per-DPU instruction/DMA ledgers.  This example
+prints a run's timeline the way a profiler would, then compares the energy
+ledger of two color configurations.
+
+Run:  python examples/inspect_machine.py
+"""
+
+from __future__ import annotations
+
+from repro import PimTriangleCounter
+from repro.graph import get_dataset
+from repro.pimsim import EnergyModel, render_timeline
+
+
+def main() -> None:
+    graph = get_dataset("kronecker23", tier="small")
+    counter = PimTriangleCounter(num_colors=6, seed=1, misra_gries_k=256, misra_gries_t=8)
+    result = counter.count(graph)
+    print(f"{graph.name}: T = {result.count}\n")
+
+    print("operation timeline (simulated time):")
+    print(render_timeline(result.trace))
+
+    print("\nDPU-side aggregate work:")
+    k = result.kernel
+    print(f"  instructions: {k.instructions / 1e6:.1f} M")
+    print(f"  DMA traffic:  {k.dma_bytes / (1 << 20):.1f} MiB in {k.dma_requests} requests")
+    print(f"  slowest core: {k.max_dpu_compute_seconds * 1e3:.2f} ms")
+    print(f"  load balance (max/mean edges per core): {result.load_balance():.2f}")
+
+    model = EnergyModel()
+    print("\nenergy ledger across color counts (dynamic terms only):")
+    print(f"{'C':>3} {'cores':>6} {'instr (M)':>10} {'mJ':>8} {'count ms':>9}")
+    for colors in (2, 4, 8):
+        r = PimTriangleCounter(num_colors=colors, seed=1).count(graph)
+        energy = (
+            r.kernel.instructions * model.instruction_j
+            + r.kernel.dma_bytes * model.mram_byte_j
+        )
+        print(
+            f"{colors:>3} {r.num_dpus:>6} {r.kernel.instructions / 1e6:>10.1f} "
+            f"{energy * 1e3:>8.3f} {r.triangle_count_seconds * 1e3:>9.2f}"
+        )
+    print(
+        "\nMore cores burn more total instructions (the C-fold edge duplication)"
+        " but finish far sooner — the coloring's trade in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Local (per-node) triangle counting — the TRIEST-style extension.
+
+Local counts answer the questions the paper's intro motivates (spam/sybil
+detection, motif analysis): not just *how many* triangles, but *whose*.  The
+coloring partition supports them unchanged: the same monochromatic,
+reservoir, and uniform corrections apply element-wise to the per-node vector.
+
+This example finds the most triangle-dense users of a social-network
+analogue, exactly and under sampling, and derives local clustering
+coefficients.
+
+Run:  python examples/local_counting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PimTriangleCounter
+from repro.graph import count_triangles_per_node, get_dataset, local_clustering
+
+
+def main() -> None:
+    graph = get_dataset("livejournal", tier="small")
+    print(f"{graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+
+    counter = PimTriangleCounter(num_colors=6, seed=11)
+    result = counter.count_local(graph)
+    oracle = count_triangles_per_node(graph)
+    assert np.array_equal(result.local_counts(), oracle)
+
+    print(f"global count (= sum/3): {result.count}")
+    print(f"gather-heavy count phase: {result.triangle_count_seconds * 1e3:.2f} ms\n")
+
+    deg = graph.degrees()
+    cc = local_clustering(graph, oracle)
+    print("top nodes by triangle participation:")
+    print(f"{'node':>8} {'triangles':>10} {'degree':>8} {'local clustering':>17}")
+    for node, value in result.top_nodes(8):
+        print(f"{node:>8} {value:>10.0f} {deg[node]:>8} {cc[node]:>17.3f}")
+
+    # Under uniform sampling the per-node estimates stay unbiased in aggregate.
+    approx = counter.with_options(uniform_p=0.25).count_local(graph)
+    top_true = {n for n, _ in result.top_nodes(20)}
+    top_est = {n for n, _ in approx.top_nodes(20)}
+    overlap = len(top_true & top_est)
+    print(
+        f"\nuniform p=0.25: global estimate {approx.estimate:,.0f} "
+        f"(truth {result.count:,}), top-20 overlap {overlap}/20 — "
+        "heavy participants survive aggressive sampling."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Accelerating Triangle Counting with Real
+Processing-in-Memory Systems" (IPDPS 2025).
+
+The package implements, from scratch and in pure Python/NumPy/SciPy:
+
+* a simulated UPMEM PIM system (:mod:`repro.pimsim`) — functional DPU
+  execution plus an analytic instruction/DMA/transfer time model;
+* the paper's triangle-counting algorithm (:mod:`repro.core`) — vertex-
+  coloring edge partition, uniform and reservoir sampling, the merge-based
+  edge-iterator kernel, and the Misra-Gries high-degree remap;
+* its substrates: COO/CSR graph handling, generators and dataset analogues
+  (:mod:`repro.graph`), streaming summaries (:mod:`repro.streaming`), the
+  coloring algebra (:mod:`repro.coloring`);
+* CPU/GPU baseline models (:mod:`repro.baselines`) and the full experiment
+  harness regenerating every table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import PimTriangleCounter
+    from repro.graph import get_dataset
+
+    result = PimTriangleCounter(num_colors=5).count(get_dataset("orkut", "tiny"))
+    print(result.count, result.summary())
+"""
+
+from .core import (
+    DynamicPimCounter,
+    PimTcOptions,
+    PimTriangleCounter,
+    TcResult,
+)
+from .pimsim import PAPER_SYSTEM, PimSystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PimTriangleCounter",
+    "PimTcOptions",
+    "TcResult",
+    "DynamicPimCounter",
+    "PimSystemConfig",
+    "PAPER_SYSTEM",
+    "__version__",
+]

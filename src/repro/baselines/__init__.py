@@ -1,0 +1,22 @@
+"""Comparator implementations: CPU (CSR and COO-native), GPU-like, references."""
+
+from .cpu_coo import CpuCooCounter, CpuCooModel
+from .cpu_csr import BaselineResult, CpuCsrCounter, CpuModel
+from .dynamic import CpuDynamicDriver, DynamicRound, GpuDynamicDriver
+from .gpu_like import GpuCounter, GpuModel
+from .reference import count_triangles_dense, count_triangles_sets
+
+__all__ = [
+    "BaselineResult",
+    "CpuModel",
+    "CpuCsrCounter",
+    "CpuCooModel",
+    "CpuCooCounter",
+    "GpuModel",
+    "GpuCounter",
+    "DynamicRound",
+    "CpuDynamicDriver",
+    "GpuDynamicDriver",
+    "count_triangles_dense",
+    "count_triangles_sets",
+]

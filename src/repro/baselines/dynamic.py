@@ -1,0 +1,124 @@
+"""Dynamic-update drivers for the CPU and GPU baselines (Fig. 7).
+
+The paper's dynamic workload splits a graph into batches and, after merging
+each batch, counts the triangles formed by the update.  The two baselines
+differ exactly where the paper says they do:
+
+* the **CPU** implementation needs CSR internally, so *every* round pays a
+  full COO->CSR conversion of the entire cumulative graph before counting;
+* the **GPU** implementation ingests COO directly, so a round pays only the
+  new batch's device transfer plus the incremental count.
+
+Both counters' incremental work is modeled as one intersection per new edge
+bounded by the smaller endpoint degree (the standard dynamic-TC bound);
+counts are exact (oracle), cumulative times are simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.coo import COOGraph
+from ..graph.triangles import count_triangles
+from .cpu_csr import CpuModel
+from .gpu_like import GpuModel
+
+__all__ = ["DynamicRound", "CpuDynamicDriver", "GpuDynamicDriver"]
+
+
+@dataclass(frozen=True)
+class DynamicRound:
+    """One update round of a baseline dynamic run."""
+
+    round_index: int
+    cumulative_edges: int
+    triangles_total: int
+    round_seconds: float
+    cumulative_seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+def _incremental_wedges(cumulative: COOGraph, batch: COOGraph) -> int:
+    """Hash-intersection work for the batch: ``sum min(deg(u), deg(v))``."""
+    deg = cumulative.degrees()
+    du = deg[batch.src]
+    dv = deg[batch.dst]
+    return int(np.minimum(du, dv).sum())
+
+
+class _DynamicDriverBase:
+    """Shared bookkeeping: cumulative COO graph + exact counts."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.graph = COOGraph(
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            num_nodes=num_nodes,
+        )
+        self.cumulative_seconds = 0.0
+        self._round = 0
+
+    def _merge(self, batch: COOGraph) -> COOGraph:
+        merged = self.graph.concat(batch).canonicalize()
+        self.graph = merged
+        return merged
+
+
+class CpuDynamicDriver(_DynamicDriverBase):
+    """CPU baseline: full conversion every round (the Fig. 7 bottleneck)."""
+
+    def __init__(self, num_nodes: int, model: CpuModel | None = None) -> None:
+        super().__init__(num_nodes)
+        self.model = model or CpuModel()
+
+    def apply_update(self, batch: COOGraph) -> DynamicRound:
+        work = _incremental_wedges(self.graph, batch) if self.graph.num_edges else 0
+        merged = self._merge(batch)
+        convert_s = self.model.conversion_seconds(merged.num_edges)
+        count_s = work / self.model.count_rate()
+        round_s = convert_s + count_s
+        self.cumulative_seconds += round_s
+        self._round += 1
+        return DynamicRound(
+            round_index=self._round,
+            cumulative_edges=merged.num_edges,
+            triangles_total=count_triangles(merged),
+            round_seconds=round_s,
+            cumulative_seconds=self.cumulative_seconds,
+            breakdown={"convert": convert_s, "count": count_s},
+        )
+
+
+class GpuDynamicDriver(_DynamicDriverBase):
+    """GPU baseline: COO-native update, no per-round conversion."""
+
+    def __init__(self, num_nodes: int, model: GpuModel | None = None) -> None:
+        super().__init__(num_nodes)
+        self.model = model or GpuModel()
+        self._prev_triangles = 0
+
+    def apply_update(self, batch: COOGraph) -> DynamicRound:
+        work = _incremental_wedges(self.graph, batch) if self.graph.num_edges else 0
+        merged = self._merge(batch)
+        triangles = count_triangles(merged)
+        added = triangles - self._prev_triangles
+        self._prev_triangles = triangles
+        ingest_s = self.model.ingest_seconds(batch.nbytes())
+        count_s = (
+            self.model.invocation_overhead
+            + work / self.model.step_rate()
+            + max(added, 0) / self.model.triangles_per_second
+        )
+        round_s = ingest_s + count_s
+        self.cumulative_seconds += round_s
+        self._round += 1
+        return DynamicRound(
+            round_index=self._round,
+            cumulative_edges=merged.num_edges,
+            triangles_total=triangles,
+            round_seconds=round_s,
+            cumulative_seconds=self.cumulative_seconds,
+            breakdown={"ingest": ingest_s, "count": count_s},
+        )

@@ -1,0 +1,12 @@
+"""Vertex-coloring edge partition: triplet algebra + vectorized edge routing."""
+
+from .partition import ColoringPartitioner, EdgePartition
+from .triplets import TripletTable, colors_for_dpus, num_triplets
+
+__all__ = [
+    "TripletTable",
+    "num_triplets",
+    "colors_for_dpus",
+    "ColoringPartitioner",
+    "EdgePartition",
+]

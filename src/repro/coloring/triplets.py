@@ -1,0 +1,122 @@
+"""Color-triplet algebra for the coloring-based edge partition (paper Sec. 3.1).
+
+With ``C`` colors, each PIM core is assigned one *multiset* of three colors —
+an ordered triplet ``(i, j, k)`` with ``i <= j <= k`` — describing one possible
+color configuration of a triangle.  There are ``binom(C+2, 3)`` such triplets,
+which is exactly the number of PIM cores the algorithm uses
+(paper Sec. 4.2: "the number of PIM cores utilized ... is equal to
+``binom(C+2, 3)``").
+
+An edge whose endpoints are colored ``{a, b}`` is compatible with a triplet
+``T`` iff ``{a, b}`` is a sub-multiset of ``T`` (an edge with both endpoints
+the same color needs that color *twice* in the triplet).  Every edge is
+compatible with exactly ``C`` triplets — one per choice of the third color —
+which is the paper's "each edge is duplicated C times".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from ..common.validation import check_positive
+
+__all__ = ["TripletTable", "num_triplets", "colors_for_dpus"]
+
+
+def num_triplets(num_colors: int) -> int:
+    """``binom(C+2, 3) = C(C+1)(C+2)/6`` — PIM cores used for ``C`` colors."""
+    c = check_positive("num_colors", num_colors)
+    return c * (c + 1) * (c + 2) // 6
+
+
+def colors_for_dpus(max_dpus: int) -> int:
+    """Largest ``C`` whose triplet count fits in ``max_dpus`` PIM cores.
+
+    This is how the paper picks "the highest valid number of DPUs in the
+    system" (23 colors -> 2300 DPUs on the 2560-DPU machine).
+    """
+    check_positive("max_dpus", max_dpus)
+    c = 1
+    while num_triplets(c + 1) <= max_dpus:
+        c += 1
+    return c
+
+
+@dataclass(frozen=True)
+class TripletTable:
+    """Precomputed triplet enumeration and lookup tables for one ``C``.
+
+    Attributes
+    ----------
+    num_colors:
+        ``C``.
+    triplets:
+        ``(T, 3)`` int array, rows sorted ``i <= j <= k``, lexicographic order;
+        row index == PIM core index.
+    kind:
+        ``(T,)`` array with the number of *distinct* colors in each triplet
+        (1, 2 or 3) — the paper's load classes N / 3N / 6N.
+    lut:
+        ``(C, C, C)`` array mapping an unordered color triple (any order) to
+        its triplet/PIM-core index; used for vectorized edge assignment.
+    """
+
+    num_colors: int
+    triplets: np.ndarray
+    kind: np.ndarray
+    lut: np.ndarray
+
+    @classmethod
+    def build(cls, num_colors: int) -> "TripletTable":
+        c = check_positive("num_colors", num_colors)
+        trips = np.array(
+            list(combinations_with_replacement(range(c), 3)), dtype=np.int64
+        ).reshape(-1, 3)
+        kind = np.array([len(set(row)) for row in trips.tolist()], dtype=np.int64)
+        # Rank any sorted triple via a dense LUT over all orderings.
+        lut = np.full((c, c, c), -1, dtype=np.int64)
+        index = {tuple(row): i for i, row in enumerate(trips.tolist())}
+        grid = np.indices((c, c, c)).reshape(3, -1).T
+        sorted_grid = np.sort(grid, axis=1)
+        flat_ids = np.array(
+            [index[tuple(row)] for row in sorted_grid.tolist()], dtype=np.int64
+        )
+        lut[grid[:, 0], grid[:, 1], grid[:, 2]] = flat_ids
+        return cls(num_colors=c, triplets=trips, kind=kind, lut=lut)
+
+    @property
+    def num_dpus(self) -> int:
+        """PIM cores required: one per triplet."""
+        return int(self.triplets.shape[0])
+
+    def mono_mask(self) -> np.ndarray:
+        """Boolean mask of single-color triplets (the correction DPUs)."""
+        return self.kind == 1
+
+    def triplet_of(self, dpu: int) -> tuple[int, int, int]:
+        i, j, k = self.triplets[dpu].tolist()
+        return (i, j, k)
+
+    def compatible_dpus(self, color_a: int, color_b: int) -> np.ndarray:
+        """The ``C`` PIM cores an edge with endpoint colors ``(a, b)`` goes to."""
+        a = np.full(self.num_colors, color_a, dtype=np.int64)
+        b = np.full(self.num_colors, color_b, dtype=np.int64)
+        x = np.arange(self.num_colors, dtype=np.int64)
+        return self.lut[a, b, x]
+
+    def edge_multiplicity(self) -> int:
+        """Copies made of every edge: always ``C``."""
+        return self.num_colors
+
+    def load_class_counts(self) -> dict[int, int]:
+        """How many triplets have 1, 2, 3 distinct colors.
+
+        Matches the paper's Sec. 3.1 accounting: ``C`` single-color triplets,
+        ``2 * binom(C, 2)`` two-color triplets (i.e. ``C(C-1)``), and
+        ``binom(C, 3)`` three-color triplets.
+        """
+        values, counts = np.unique(self.kind, return_counts=True)
+        return dict(zip(values.tolist(), counts.tolist()))

@@ -1,0 +1,41 @@
+"""Shared utilities: errors, units, deterministic RNG streams, universal hashing."""
+
+from .errors import (
+    ConfigurationError,
+    GraphFormatError,
+    KernelLaunchError,
+    MramCapacityError,
+    PimAllocationError,
+    ReproError,
+    TransferError,
+    WramCapacityError,
+)
+from .hashing import ColorHash, MERSENNE_PRIME_61
+from .rng import RngFactory, derive_seed
+from .units import GiB, KiB, MiB, fmt_bytes, fmt_rate, fmt_time
+from .validation import check_int_array, check_positive, check_probability, require
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "ConfigurationError",
+    "PimAllocationError",
+    "MramCapacityError",
+    "WramCapacityError",
+    "KernelLaunchError",
+    "TransferError",
+    "ColorHash",
+    "MERSENNE_PRIME_61",
+    "RngFactory",
+    "derive_seed",
+    "KiB",
+    "MiB",
+    "GiB",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "require",
+    "check_positive",
+    "check_probability",
+    "check_int_array",
+]

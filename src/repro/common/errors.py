@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses partition failures into the major
+subsystems (graph handling, the PIM simulator, and algorithm configuration),
+mirroring the failure modes of the original UPMEM software stack (host-side
+input errors, DPU allocation/capacity errors, kernel launch errors).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "PimAllocationError",
+    "MramCapacityError",
+    "WramCapacityError",
+    "KernelLaunchError",
+    "TransferError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input (COO file, edge array) is malformed."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when algorithm or system parameters are invalid or inconsistent."""
+
+
+class PimAllocationError(ReproError):
+    """Raised when the requested number of PIM cores cannot be allocated."""
+
+
+class MramCapacityError(ReproError):
+    """Raised when a DPU DRAM bank (MRAM) allocation exceeds the bank size.
+
+    The production algorithm avoids this error by falling back to reservoir
+    sampling; it therefore only escapes when reservoir sampling is explicitly
+    disabled.
+    """
+
+
+class WramCapacityError(ReproError):
+    """Raised when a tasklet requests a scratchpad (WRAM) buffer that does not fit."""
+
+
+class KernelLaunchError(ReproError):
+    """Raised when a PIM kernel cannot be launched (e.g. no kernel loaded)."""
+
+
+class TransferError(ReproError):
+    """Raised on invalid CPU<->PIM transfer requests (bad sizes, unallocated DPUs)."""

@@ -1,0 +1,70 @@
+"""Unit helpers for sizes, times, and rates.
+
+The PIM simulator accounts for time in seconds (floats) and sizes in bytes
+(ints).  These helpers keep call sites readable (``64 * MiB`` instead of
+``67108864``) and provide pretty-printers used by experiment reports.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "NS",
+    "US",
+    "MS",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+]
+
+# Binary sizes (memory capacities are conventionally binary).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal sizes (bandwidths are conventionally decimal).
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# Time in seconds.
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(65536) == '64.0 KiB'``."""
+    n = float(n)
+    for suffix, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit, e.g. ``fmt_time(0.0032) == '3.200 ms'``."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= MS:
+        return f"{s / MS:.3f} ms"
+    if abs(s) >= US:
+        return f"{s / US:.3f} us"
+    return f"{s / NS:.1f} ns"
+
+
+def fmt_rate(count: float, seconds: float, unit: str = "edges") -> str:
+    """Format a throughput, e.g. ``fmt_rate(1e6, 2.0) == '500.0 Kedges/s'``."""
+    if seconds <= 0:
+        return f"inf {unit}/s"
+    rate = count / seconds
+    for suffix, scale in (("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if rate >= scale:
+            return f"{rate / scale:.1f} {suffix}{unit}/s"
+    return f"{rate:.1f} {unit}/s"

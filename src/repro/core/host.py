@@ -1,0 +1,409 @@
+"""Host-side orchestration of the PIM triangle-counting run (paper Sec. 3).
+
+The pipeline reproduces the paper's host program step by step:
+
+1. **Setup** — allocate ``binom(C+2,3)`` PIM cores, load the kernel, charge
+   the host-side buffer allocation and graph-load cost.
+2. **Sample creation** — stream the COO edges applying uniform sampling
+   (Sec. 3.2) and, if enabled, the per-thread Misra-Gries summaries
+   (Sec. 3.5); color endpoints with the universal hash and route each edge to
+   its ``C`` compatible cores (Sec. 3.1); transfer the batches (rank-padded
+   parallel scatter); insert into each core's MRAM region with reservoir
+   replacement when the region is full (Sec. 3.3).
+3. **Triangle count** — launch the counting kernel, gather per-core counts,
+   apply the reservoir / monochromatic / uniform corrections (Sec. 3.1-3.3),
+   free the cores.
+
+Simulated time accumulates into the paper's three phases; host work is
+modeled with the ``CostModel`` host constants (32 threads by default, a fixed
+cycle budget per streamed edge, and a memcpy bandwidth for batch assembly).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coloring.partition import ColoringPartitioner
+from ..common.errors import ConfigurationError
+from ..common.rng import RngFactory
+from ..graph.coo import COOGraph
+from ..pimsim.config import PimSystemConfig
+from ..pimsim.kernel import SimClock
+from ..pimsim.system import PimSystem
+from ..streaming.estimators import combine_dpu_counts
+from ..streaming.misra_gries import MisraGries
+from ..streaming.reservoir import EdgeReservoir, reservoir_scale
+from ..streaming.uniform import uniform_sample
+from .kernel_tc_fast import KernelCosts, TriangleCountKernel
+from .remap import RemapTable
+from .result import KernelAggregate, TcResult
+
+__all__ = ["PimTcOptions", "PimTcPipeline"]
+
+
+@dataclass
+class _PreparedRun:
+    """State handed from the shared sample-creation phase to a count phase."""
+
+    clock: SimClock
+    dpus: "object"
+    partitioner: ColoringPartitioner
+    partition: "object"
+    sample: "object"
+    seen: np.ndarray
+    capacity: int
+    wall_start: float
+    edges_kept: int
+
+    def reservoir_scales(self) -> np.ndarray:
+        return np.array(
+            [reservoir_scale(self.capacity, int(t)) for t in self.seen],
+            dtype=np.float64,
+        )
+
+
+@dataclass(frozen=True)
+class PimTcOptions:
+    """User-facing knobs of one triangle-counting run (the paper's parameters)."""
+
+    #: ``C`` — number of node colors; PIM cores used = ``binom(C+2, 3)``.
+    num_colors: int = 4
+    #: Uniform sampling keep-probability ``p`` (Sec. 3.2); 1.0 = exact path.
+    uniform_p: float = 1.0
+    #: Per-core reservoir capacity in edges (Sec. 3.3); ``None`` sizes it from
+    #: the MRAM bank, which at paper scale effectively disables sampling.
+    reservoir_capacity: int | None = None
+    #: Misra-Gries table size ``K`` (0 disables the summary entirely).
+    misra_gries_k: int = 0
+    #: Number of top-degree nodes ``t`` remapped inside the PIM cores.
+    misra_gries_t: int = 0
+    #: Root seed for coloring / sampling / reservoir streams.
+    seed: int = 0
+    #: Instruction-cost constants of the DPU kernel.
+    kernel_costs: KernelCosts = field(default_factory=KernelCosts)
+    #: Extra host cycles per edge spent updating the Misra-Gries summary.
+    mg_host_cycles_per_edge: float = 25.0
+    #: Fraction of MRAM reserved for the region table, stats and stack.
+    mram_reserve_fraction: float = 0.0625
+    #: Counting kernel: "merge" (the paper's, Sec. 3.4) or "probe"
+    #: (binary-search wedge checks; see core.kernel_tc_probe).
+    kernel_variant: str = "merge"
+    #: Host-side per-core batch buffer, in edges.  The paper's host flushes
+    #: each core's batch array to the PIM side as it fills while streaming the
+    #: input file; ``None`` models one bulk scatter (batch = whole sample).
+    transfer_batch_edges: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_colors < 1:
+            raise ConfigurationError("num_colors must be >= 1")
+        if self.kernel_variant not in ("merge", "probe"):
+            raise ConfigurationError(
+                f"kernel_variant must be 'merge' or 'probe', got {self.kernel_variant!r}"
+            )
+        if self.transfer_batch_edges is not None and self.transfer_batch_edges < 1:
+            raise ConfigurationError("transfer_batch_edges must be >= 1 or None")
+        if not (0.0 < self.uniform_p <= 1.0):
+            raise ConfigurationError("uniform_p must be in (0, 1]")
+        if self.misra_gries_t > 0 and self.misra_gries_k <= 0:
+            raise ConfigurationError("misra_gries_t requires misra_gries_k > 0")
+        if self.misra_gries_k > 0 and self.misra_gries_t <= 0:
+            raise ConfigurationError("misra_gries_k requires misra_gries_t > 0")
+
+
+class PimTcPipeline:
+    """One configured pipeline; reusable across graphs."""
+
+    def __init__(
+        self,
+        options: PimTcOptions | None = None,
+        system: PimSystem | None = None,
+    ) -> None:
+        self.options = options or PimTcOptions()
+        self.system = system or PimSystem(PimSystemConfig())
+        from ..coloring.triplets import num_triplets
+
+        needed = num_triplets(self.options.num_colors)
+        if needed > self.system.config.total_dpus:
+            raise ConfigurationError(
+                f"{self.options.num_colors} colors need {needed} PIM cores but the "
+                f"system has {self.system.config.total_dpus}"
+            )
+
+    # ------------------------------------------------------------------ helpers
+    def _host_seconds(self, cycles_per_item: float, items: int) -> float:
+        cost = self.system.config.cost
+        return cycles_per_item * items / (cost.host_clock_hz * cost.host_threads)
+
+    def _reservoir_capacity(self) -> int:
+        opts = self.options
+        if opts.reservoir_capacity is not None:
+            if opts.reservoir_capacity < 1:
+                raise ConfigurationError("reservoir_capacity must be >= 1")
+            return int(opts.reservoir_capacity)
+        dpu_cfg = self.system.config.dpu
+        usable = int(dpu_cfg.mram_bytes * (1.0 - opts.mram_reserve_fraction))
+        return max(1, usable // opts.kernel_costs.edge_bytes)
+
+    # --------------------------------------------------------------------- run
+    def run(self, graph: COOGraph) -> TcResult:
+        """Execute the full pipeline on ``graph`` and return the result."""
+        if self.options.kernel_variant == "probe":
+            from .kernel_tc_probe import ProbeTriangleCountKernel
+
+            kernel = ProbeTriangleCountKernel(
+                num_nodes=graph.num_nodes, costs=self.options.kernel_costs
+            )
+        else:
+            kernel = TriangleCountKernel(
+                num_nodes=graph.num_nodes, costs=self.options.kernel_costs
+            )
+        prep = self._prepare(graph, kernel)
+        return self._finish_global(graph, prep)
+
+    def _prepare(self, graph: COOGraph, kernel) -> "_PreparedRun":
+        """Setup + sample-creation phases, shared by global and local counting."""
+        opts = self.options
+        cost = self.system.config.cost
+        rngs = RngFactory(opts.seed)
+        wall_start = time.perf_counter()
+        clock = SimClock()
+
+        # ---------------------------------------------------------------- setup
+        partitioner = ColoringPartitioner(opts.num_colors, rngs.stream("coloring"))
+        dpus = self.system.allocate(partitioner.num_dpus, clock)
+        dpus.load_kernel(kernel, phase="setup")
+        # Host: load the graph file into memory + allocate per-core batch arrays.
+        clock.advance(
+            "setup",
+            graph.nbytes() / cost.host_memcpy_bandwidth
+            + self._host_seconds(200.0, partitioner.num_dpus),
+        )
+
+        # ------------------------------------------------------- sample creation
+        # Uniform sampling happens while streaming the file: every input edge is
+        # read and hashed; only kept edges are routed.
+        clock.advance(
+            "sample_creation", self._host_seconds(cost.host_edge_cycles, graph.num_edges)
+        )
+        sample = uniform_sample(graph, opts.uniform_p, rngs.stream("uniform"))
+        kept = sample.graph
+
+        remap_payload: RemapTable | None = None
+        if opts.misra_gries_k > 0:
+            remap_payload = self._run_misra_gries(kept, clock)
+
+        partition = partitioner.assign(kept)
+        edge_bytes = opts.kernel_costs.edge_bytes
+        routed_bytes = partition.counts * edge_bytes
+        # Batch assembly memcpy on the host.
+        clock.advance(
+            "sample_creation",
+            float(routed_bytes.sum()) / cost.host_memcpy_bandwidth,
+        )
+        # Rank-padded parallel scatter of the batches.  With a finite batch
+        # buffer the host flushes every time the fullest core's buffer fills,
+        # so the transfer happens in rounds; each round moves at most
+        # ``batch`` edges per core and pays the per-transfer latency.
+        if opts.transfer_batch_edges is None:
+            stats = dpus.transfer.scatter(routed_bytes)
+            clock.advance("sample_creation", stats.seconds)
+            dpus.trace.record(
+                "sample_creation", "scatter", stats.seconds, stats.payload_bytes, "edge batches"
+            )
+        else:
+            batch = int(opts.transfer_batch_edges)
+            remaining = partition.counts.astype(np.int64).copy()
+            rounds = 0
+            while remaining.max(initial=0) > 0:
+                this_round = np.minimum(remaining, batch)
+                stats = dpus.transfer.scatter(this_round * edge_bytes)
+                clock.advance("sample_creation", stats.seconds)
+                dpus.trace.record(
+                    "sample_creation",
+                    "scatter",
+                    stats.seconds,
+                    stats.payload_bytes,
+                    f"edge batch round {rounds}",
+                )
+                remaining -= this_round
+                rounds += 1
+        if remap_payload is not None and remap_payload.t > 0:
+            stats = dpus.transfer.broadcast(remap_payload.nbytes(), len(dpus))
+            clock.advance("sample_creation", stats.seconds)
+            dpus.trace.record(
+                "sample_creation", "broadcast", stats.seconds, stats.payload_bytes, "remap_table"
+            )
+
+        capacity = self._reservoir_capacity()
+        seen = np.zeros(partitioner.num_dpus, dtype=np.int64)
+        insert_times = []
+        for d, (s_arr, d_arr) in enumerate(partition.per_dpu):
+            dpu = dpus.dpus[d]
+            dpu.reset_charges()
+            n_in = int(s_arr.size)
+            seen[d] = n_in
+            if n_in > capacity:
+                reservoir = EdgeReservoir(capacity, rngs.stream("reservoir", index=d))
+                reservoir.offer_batch(s_arr, d_arr)
+                keep_src, keep_dst = reservoir.edges()
+                stored = int(keep_src.size)
+                # Replacement bookkeeping costs a few extra instructions/edge.
+                insert_instr = n_in * (opts.kernel_costs.insert_instr_per_edge + 4.0)
+            else:
+                keep_src, keep_dst = s_arr, d_arr
+                stored = n_in
+                insert_instr = n_in * opts.kernel_costs.insert_instr_per_edge
+            dpu.charge_balanced(insert_instr)
+            per_tasklet_bytes = stored * edge_bytes / dpu.config.num_tasklets
+            for tk in range(dpu.config.num_tasklets):
+                dpu.charge_mram_write(tk, int(per_tasklet_bytes), requests=1)
+            dpu.mram.store("sample_src", keep_src.astype(np.int32), count_write=False)
+            dpu.mram.store("sample_dst", keep_dst.astype(np.int32), count_write=False)
+            if remap_payload is not None and remap_payload.t > 0:
+                dpu.mram.store("remap_table", remap_payload.nodes, count_write=False)
+            insert_times.append(dpu.compute_seconds())
+        insert_seconds = cost.launch_latency + (max(insert_times) if insert_times else 0.0)
+        clock.advance("sample_creation", insert_seconds)
+        dpus.trace.record(
+            "sample_creation", "launch", insert_seconds, detail="sample insert / reservoir"
+        )
+        return _PreparedRun(
+            clock=clock,
+            dpus=dpus,
+            partitioner=partitioner,
+            partition=partition,
+            sample=sample,
+            seen=seen,
+            capacity=capacity,
+            wall_start=wall_start,
+            edges_kept=kept.num_edges,
+        )
+
+    def _finish_global(self, graph: COOGraph, prep: "_PreparedRun") -> TcResult:
+        """Triangle-count phase for the global counting kernel."""
+        opts = self.options
+        clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
+        dpus.launch(phase="triangle_count")
+        raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
+        raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+        scales = prep.reservoir_scales()
+        mono = partitioner.mono_mask()
+        estimate = combine_dpu_counts(
+            raw_counts,
+            scales,
+            mono,
+            num_colors=opts.num_colors,
+            uniform_p=prep.sample.p,
+        )
+        # Host-side final reduction over per-core counts.
+        clock.advance("triangle_count", self._host_seconds(10.0, partitioner.num_dpus))
+
+        kernel_aggregate = self._aggregate(dpus)
+        dpus.free()
+        return TcResult(
+            estimate=estimate,
+            num_colors=opts.num_colors,
+            num_dpus=partitioner.num_dpus,
+            clock=clock,
+            per_dpu_counts=raw_counts,
+            reservoir_scales=scales,
+            edges_routed=prep.partition.counts,
+            edges_input=graph.num_edges,
+            uniform_p=prep.sample.p,
+            kernel=kernel_aggregate,
+            host_wall_seconds=time.perf_counter() - prep.wall_start,
+            meta={
+                "reservoir_capacity": prep.capacity,
+                "edges_kept": prep.edges_kept,
+                "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
+            },
+            trace=dpus.trace,
+        )
+
+    def run_local(self, graph: COOGraph) -> "LocalTcResult":
+        """Per-node (local) triangle counting — see :mod:`repro.core.local`."""
+        from .local import LocalCountKernel
+        from .result import LocalTcResult
+
+        opts = self.options
+        kernel = LocalCountKernel(num_nodes=graph.num_nodes, costs=opts.kernel_costs)
+        prep = self._prepare(graph, kernel)
+        clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
+
+        dpus.launch(phase="triangle_count")
+        # The local gather is heavy: one num_nodes-long vector per core.
+        local_arrays = dpus.gather("local_counts", phase="triangle_count")
+        raw_arrays = [dpu.mram.load("triangle_count", count_read=False) for dpu in dpus.dpus]
+        raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+        scales = prep.reservoir_scales()
+        mono = partitioner.mono_mask()
+
+        locals_matrix = np.stack(local_arrays).astype(np.float64)
+        locals_matrix /= scales[:, None]
+        combined = locals_matrix.sum(axis=0)
+        combined -= (opts.num_colors - 1) * locals_matrix[mono].sum(axis=0)
+        combined /= prep.sample.p**3
+        estimate = float(combined.sum() / 3.0)
+        # Host-side vector reduction over all cores.
+        clock.advance(
+            "triangle_count",
+            self._host_seconds(2.0, partitioner.num_dpus * graph.num_nodes),
+        )
+
+        kernel_aggregate = self._aggregate(dpus)
+        dpus.free()
+        return LocalTcResult(
+            estimate=estimate,
+            num_colors=opts.num_colors,
+            num_dpus=partitioner.num_dpus,
+            clock=clock,
+            per_dpu_counts=raw_counts,
+            reservoir_scales=scales,
+            edges_routed=prep.partition.counts,
+            edges_input=graph.num_edges,
+            uniform_p=prep.sample.p,
+            kernel=kernel_aggregate,
+            host_wall_seconds=time.perf_counter() - prep.wall_start,
+            meta={
+                "reservoir_capacity": prep.capacity,
+                "edges_kept": prep.edges_kept,
+                "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
+            },
+            trace=dpus.trace,
+            local_estimates=combined,
+        )
+
+    # ----------------------------------------------------------------- internals
+    def _run_misra_gries(self, kept: COOGraph, clock: SimClock) -> RemapTable:
+        """Per-thread Misra-Gries over the node stream, merged, top-t extracted."""
+        opts = self.options
+        cost = self.system.config.cost
+        threads = cost.host_threads
+        # Node stream: both endpoints of every kept edge, in stream order.
+        stream = np.empty(2 * kept.num_edges, dtype=np.int64)
+        stream[0::2] = kept.src
+        stream[1::2] = kept.dst
+        merged = MisraGries(opts.misra_gries_k)
+        for chunk in np.array_split(stream, threads):
+            local = MisraGries(opts.misra_gries_k)
+            local.update_array(chunk)
+            merged.merge(local)
+        clock.advance(
+            "sample_creation",
+            self._host_seconds(opts.mg_host_cycles_per_edge, kept.num_edges),
+        )
+        top = merged.top(opts.misra_gries_t)
+        return RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=kept.num_nodes)
+
+    @staticmethod
+    def _aggregate(dpus) -> KernelAggregate:
+        stats = [dpu.run_stats() for dpu in dpus.dpus]
+        return KernelAggregate(
+            instructions=sum(s.instructions for s in stats),
+            dma_requests=sum(s.dma_requests for s in stats),
+            dma_bytes=sum(s.dma_bytes for s in stats),
+            max_dpu_compute_seconds=max((s.compute_seconds for s in stats), default=0.0),
+        )

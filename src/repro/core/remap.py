@@ -1,0 +1,87 @@
+"""High-degree node remapping from the Misra-Gries summary (paper Sec. 3.5).
+
+The host identifies (approximately) the ``t`` highest-degree nodes and ships
+their IDs to every PIM core.  Before sorting its sample, each core remaps
+those nodes to fresh IDs *above* the original ID range, with the most frequent
+node receiving the highest new ID.  Under the ``u < v`` orientation, a node's
+triangle-counting work is driven by its *forward* adjacency (neighbors with
+larger IDs); pushing the heavy hitters to the top of the ID range empties
+their forward lists — the most frequent node's becomes exactly empty — while
+the remap, being a bijection on node IDs, provably preserves the triangle
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.validation import check_int_array
+
+__all__ = ["RemapTable", "apply_remap"]
+
+
+@dataclass(frozen=True)
+class RemapTable:
+    """The broadcast remap payload.
+
+    Attributes
+    ----------
+    nodes:
+        Node IDs ordered most-frequent-first (the Misra-Gries top ``t``).
+    num_nodes:
+        Original ID range; new IDs are ``num_nodes .. num_nodes + t - 1``,
+        assigned so that ``nodes[0]`` (most frequent) gets the highest.
+    """
+
+    nodes: np.ndarray
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "nodes", check_int_array("nodes", self.nodes).astype(np.int64, copy=False)
+        )
+        if np.unique(self.nodes).size != self.nodes.size:
+            raise ValueError("remap table must not contain duplicate nodes")
+
+    @property
+    def t(self) -> int:
+        return int(self.nodes.size)
+
+    @property
+    def remapped_num_nodes(self) -> int:
+        """ID range after remapping (old range plus ``t`` fresh IDs)."""
+        return self.num_nodes + self.t
+
+    def new_ids(self) -> np.ndarray:
+        """New ID of each table entry: most frequent -> highest."""
+        return self.num_nodes + self.t - 1 - np.arange(self.t, dtype=np.int64)
+
+    def nbytes(self) -> int:
+        return int(self.nodes.nbytes)
+
+
+def apply_remap(
+    table: RemapTable, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rewrite edge endpoints through the remap table (vectorized).
+
+    Non-table nodes keep their IDs; table nodes move to the fresh top range.
+    Returns new arrays (inputs untouched).
+    """
+    if table.t == 0:
+        return src, dst
+    order = np.argsort(table.nodes)
+    sorted_nodes = table.nodes[order]
+    sorted_new = table.new_ids()[order]
+
+    def rewrite(arr: np.ndarray) -> np.ndarray:
+        out = np.asarray(arr, dtype=np.int64).copy()
+        pos = np.searchsorted(sorted_nodes, out)
+        pos_c = np.minimum(pos, table.t - 1)
+        hit = sorted_nodes[pos_c] == out
+        out[hit] = sorted_new[pos_c[hit]]
+        return out
+
+    return rewrite(src), rewrite(dst)

@@ -1,0 +1,9 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+See the registry for the full artifact -> module map (also DESIGN.md Sec. 4).
+"""
+
+from .registry import EXPERIMENTS, Experiment, experiment_ids, run_experiment
+from .tables import Table
+
+__all__ = ["EXPERIMENTS", "Experiment", "experiment_ids", "run_experiment", "Table"]

@@ -1,0 +1,57 @@
+"""Shared experiment parameters and helpers.
+
+The harness runs every paper artifact at three dataset tiers.  ``tiny`` keeps
+integration tests fast, ``small`` is the default interactive tier, ``bench``
+is used by the pytest-benchmark suite and EXPERIMENTS.md.  Color counts scale
+with tier so per-DPU sample sizes stay in the regime where the cost model's
+trends (parallelism vs. transfer/alloc overhead) are visible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..graph.coo import COOGraph
+from ..graph.datasets import get_dataset
+from ..graph.triangles import count_triangles
+
+__all__ = [
+    "DEFAULT_COLORS",
+    "SCALING_COLOR_SWEEPS",
+    "ground_truth",
+    "graph_for",
+    "paper_graph_order_by_max_degree",
+]
+
+#: Default color count per tier (paper: 23 colors / 2300 DPUs at full scale).
+DEFAULT_COLORS = {"tiny": 4, "small": 8, "bench": 12}
+
+#: Fig. 4 color sweeps per tier.
+SCALING_COLOR_SWEEPS = {
+    "tiny": (1, 2, 3, 4),
+    "small": (2, 4, 6, 8),
+    "bench": (2, 4, 8, 12, 16),
+}
+
+
+def graph_for(name: str, tier: str) -> COOGraph:
+    return get_dataset(name, tier)
+
+
+@lru_cache(maxsize=64)
+def ground_truth(name: str, tier: str) -> int:
+    """Exact triangle count of one dataset (cached across experiments)."""
+    return count_triangles(get_dataset(name, tier))
+
+
+def paper_graph_order_by_max_degree(tier: str) -> list[str]:
+    """Dataset names ordered by max degree ascending (Fig. 3's x-axis)."""
+    from ..graph.datasets import DATASET_NAMES
+    from ..graph.stats import degree_stats
+
+    pairs = []
+    for name in DATASET_NAMES:
+        g = get_dataset(name, tier)
+        max_deg, _ = degree_stats(g)
+        pairs.append((max_deg, name))
+    return [name for _, name in sorted(pairs)]

@@ -1,0 +1,97 @@
+"""Compare two experiment-result JSON dumps (regression detection).
+
+Workflow::
+
+    repro-experiments fig6 --tier bench --json --out before.json
+    # ... change code ...
+    repro-experiments fig6 --tier bench --json --out after.json
+    python -m repro.experiments.compare before.json after.json --tolerance 0.05
+
+Tables are matched by title prefix and compared cell-by-cell: numeric cells
+must agree within the relative tolerance, non-numeric cells exactly.  Exit
+status is non-zero on any drift, making it CI-friendly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+__all__ = ["Drift", "compare_tables", "main"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One detected difference."""
+
+    location: str
+    before: object
+    after: object
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.before!r} -> {self.after!r}"
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_tables(before: dict, after: dict, tolerance: float = 0.0) -> list[Drift]:
+    """Cell-by-cell comparison of two ``Table.to_dict()`` payloads."""
+    drifts: list[Drift] = []
+    if before.get("headers") != after.get("headers"):
+        drifts.append(Drift("headers", before.get("headers"), after.get("headers")))
+        return drifts
+    b_rows = before.get("rows", [])
+    a_rows = after.get("rows", [])
+    if len(b_rows) != len(a_rows):
+        drifts.append(Drift("row count", len(b_rows), len(a_rows)))
+        return drifts
+    headers = before.get("headers", [])
+    for r, (b_row, a_row) in enumerate(zip(b_rows, a_rows)):
+        for c, (b_cell, a_cell) in enumerate(zip(b_row, a_row)):
+            where = f"row {r} / {headers[c] if c < len(headers) else c}"
+            if _is_number(b_cell) and _is_number(a_cell):
+                scale = max(abs(float(b_cell)), abs(float(a_cell)), 1e-12)
+                if abs(float(b_cell) - float(a_cell)) / scale > tolerance:
+                    drifts.append(Drift(where, b_cell, a_cell))
+            elif b_cell != a_cell:
+                drifts.append(Drift(where, b_cell, a_cell))
+    return drifts
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Diff two experiment JSON dumps within a tolerance.",
+    )
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="relative tolerance for numeric cells (default: exact)",
+    )
+    args = parser.parse_args(argv)
+    before = _load(args.before)
+    after = _load(args.after)
+    drifts = compare_tables(before, after, tolerance=args.tolerance)
+    if not drifts:
+        print(f"identical within tolerance {args.tolerance}")
+        return 0
+    print(f"{len(drifts)} drift(s):")
+    for d in drifts:
+        print(f"  {d}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,349 @@
+"""Static SVG figure output for the experiment harness.
+
+Pure-Python SVG emitters (no plotting dependency) so
+``repro-experiments <id> --svg DIR`` regenerates the paper's figures as
+files.  Visual rules follow the data-viz method with its validated reference
+palette: categorical hues in fixed slot order (never cycled), a single-series
+chart carries no legend (the title names it), multi-series line charts get a
+legend plus end-of-line direct labels, marks are thin (2px lines, slim bars
+with a 2px surface gap), grid and axes are recessive, and all text wears ink
+tokens rather than series color.  Dark mode is not emitted — these are
+print-oriented artifacts on the light surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .tables import Table
+
+__all__ = ["bar_chart_svg", "line_chart_svg", "figure_spec_for", "render_figure"]
+
+#: Validated reference palette — categorical slots in fixed order (light mode).
+PALETTE = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e7e6e2"
+
+
+def _fmt_val(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 4) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / n))
+    for mult in (1, 2, 2.5, 5, 10):
+        if span / (step * mult) <= n + 1:
+            step *= mult
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-12:
+        if t >= lo - 1e-12:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    lo = max(lo, 1e-12)
+    ticks = []
+    p = math.floor(math.log10(lo))
+    while 10**p <= hi * 1.0001:
+        if 10**p >= lo * 0.999:
+            ticks.append(10.0**p)
+        p += 1
+    return ticks or [lo, hi]
+
+
+@dataclass
+class _Frame:
+    """Shared chart geometry + scale helpers."""
+
+    width: int
+    height: int
+    margin_left: int = 64
+    margin_right: int = 24
+    margin_top: int = 44
+    margin_bottom: int = 40
+
+    @property
+    def plot_w(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_h(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x(self, frac: float) -> float:
+        return self.margin_left + frac * self.plot_w
+
+    def y(self, frac: float) -> float:
+        return self.margin_top + (1.0 - frac) * self.plot_h
+
+
+def _scale(values: Sequence[float], log_scale: bool):
+    vmax = max(values) if values else 1.0
+    if log_scale:
+        positive = [v for v in values if v > 0]
+        vmin = min(positive) if positive else 1.0
+        lo = 10 ** math.floor(math.log10(vmin))
+        hi = 10 ** math.ceil(math.log10(max(vmax, vmin * 10)))
+
+        def to_frac(v: float) -> float:
+            v = max(v, lo)
+            return (math.log10(v) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+
+        return to_frac, _log_ticks(lo, hi)
+    hi = vmax or 1.0
+
+    def to_frac(v: float) -> float:
+        return max(v, 0.0) / hi
+
+    return to_frac, _nice_ticks(0.0, hi)
+
+
+def _header(frame: _Frame, title: str, subtitle: str = "") -> list[str]:
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{frame.width}" '
+        f'height="{frame.height}" viewBox="0 0 {frame.width} {frame.height}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{frame.width}" height="{frame.height}" fill="{SURFACE}"/>',
+        f'<text x="{frame.margin_left}" y="20" font-size="14" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">{title}</text>',
+    ]
+    if subtitle:
+        parts.append(
+            f'<text x="{frame.margin_left}" y="36" font-size="11" '
+            f'fill="{TEXT_SECONDARY}">{subtitle}</text>'
+        )
+    return parts
+
+
+def _grid_and_axis(frame: _Frame, ticks: list[float], to_frac) -> list[str]:
+    parts = []
+    for t in ticks:
+        y = frame.y(to_frac(t))
+        parts.append(
+            f'<line x1="{frame.margin_left}" y1="{y:.1f}" '
+            f'x2="{frame.margin_left + frame.plot_w}" y2="{y:.1f}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{frame.margin_left - 6}" y="{y + 3.5:.1f}" font-size="10" '
+            f'text-anchor="end" fill="{TEXT_SECONDARY}">{_fmt_val(t)}</text>'
+        )
+    return parts
+
+
+def bar_chart_svg(
+    table: Table,
+    value_column: str,
+    label_column: str | None = None,
+    log_scale: bool = False,
+    width: int = 720,
+    height: int = 360,
+) -> str:
+    """Single-series vertical bar chart (one value per row; no legend)."""
+    label_column = label_column or table.headers[0]
+    labels = [str(v) for v in table.column(label_column)]
+    values = [float(v) for v in table.column(value_column)]
+    frame = _Frame(width=width, height=height)
+    to_frac, ticks = _scale(values, log_scale)
+    subtitle = f"{value_column}" + (" (log scale)" if log_scale else "")
+    parts = _header(frame, table.title, subtitle)
+    parts += _grid_and_axis(frame, ticks, to_frac)
+
+    n = max(len(values), 1)
+    slot_w = frame.plot_w / n
+    bar_w = max(6.0, min(48.0, slot_w * 0.62))
+    baseline = frame.y(0.0)
+    for i, (label, value) in enumerate(zip(labels, values)):
+        cx = frame.x((i + 0.5) / n)
+        top = frame.y(to_frac(value))
+        h = max(baseline - top, 0.0)
+        # Thin bar, rounded data end; clip so the rounding shows only at the top.
+        parts.append(
+            f'<clipPath id="bar{i}"><rect x="{cx - bar_w / 2:.1f}" y="{top:.1f}" '
+            f'width="{bar_w:.1f}" height="{h:.1f}"/></clipPath>'
+        )
+        parts.append(
+            f'<rect x="{cx - bar_w / 2:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+            f'height="{h + 4:.1f}" rx="4" fill="{PALETTE[0]}" clip-path="url(#bar{i})"/>'
+        )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{top - 5:.1f}" font-size="10" text-anchor="middle" '
+            f'fill="{TEXT_PRIMARY}">{_fmt_val(value)}</text>'
+        )
+        parts.append(
+            f'<text x="{cx:.1f}" y="{baseline + 14:.1f}" font-size="10" '
+            f'text-anchor="middle" fill="{TEXT_SECONDARY}">{label}</text>'
+        )
+    parts.append(
+        f'<line x1="{frame.margin_left}" y1="{baseline:.1f}" '
+        f'x2="{frame.margin_left + frame.plot_w}" y2="{baseline:.1f}" '
+        f'stroke="{TEXT_SECONDARY}" stroke-width="1"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def line_chart_svg(
+    table: Table,
+    x_column: str,
+    y_columns: Sequence[str] | None = None,
+    series_column: str | None = None,
+    y_column: str | None = None,
+    log_scale: bool = False,
+    width: int = 720,
+    height: int = 380,
+) -> str:
+    """Multi-series line chart.
+
+    Series come either from multiple ``y_columns`` (e.g. Fig. 7's CPU/GPU/PIM
+    cumulative columns) or from grouping rows by ``series_column`` with one
+    ``y_column`` (e.g. Fig. 4's per-graph scaling curves).  Hues follow the
+    fixed slot order; a legend is always present (>= 2 series) and each line
+    is direct-labeled at its end.
+    """
+    if y_columns is None and (series_column is None or y_column is None):
+        raise ValueError("need y_columns or (series_column + y_column)")
+    series: list[tuple[str, list[float], list[float]]] = []
+    if y_columns is not None:
+        xs = [float(v) for v in table.column(x_column)]
+        for name in y_columns:
+            series.append((name, xs, [float(v) for v in table.column(name)]))
+    else:
+        groups: dict[str, tuple[list[float], list[float]]] = {}
+        xi = table.headers.index(x_column)
+        yi = table.headers.index(y_column)
+        si = table.headers.index(series_column)
+        for row in table.rows:
+            name = str(row[si])
+            groups.setdefault(name, ([], []))
+            groups[name][0].append(float(row[xi]))
+            groups[name][1].append(float(row[yi]))
+        series = [(name, xs, ys) for name, (xs, ys) in groups.items()]
+    if len(series) > len(PALETTE):
+        raise ValueError("more series than fixed palette slots; aggregate first")
+
+    frame = _Frame(width=width, height=height, margin_top=56)
+    all_y = [v for _, _, ys in series for v in ys]
+    all_x = [v for _, xs, _ in series for v in xs]
+    to_frac_y, ticks = _scale(all_y, log_scale)
+    x_lo, x_hi = (min(all_x), max(all_x)) if all_x else (0.0, 1.0)
+
+    def to_frac_x(v: float) -> float:
+        return 0.0 if x_hi == x_lo else (v - x_lo) / (x_hi - x_lo)
+
+    subtitle = f"x: {x_column}" + (" — y log scale" if log_scale else "")
+    parts = _header(frame, table.title, subtitle)
+    parts += _grid_and_axis(frame, ticks, to_frac_y)
+
+    # Legend row (always present for >= 2 series), under the subtitle.
+    lx = frame.margin_left
+    for slot, (name, _, _) in enumerate(series):
+        color = PALETTE[slot]
+        parts.append(
+            f'<circle cx="{lx + 4}" cy="49" r="4" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 12}" y="52" font-size="10" fill="{TEXT_SECONDARY}">{name}</text>'
+        )
+        lx += 14 + 7 * len(name) + 16
+
+    for slot, (name, xs, ys) in enumerate(series):
+        color = PALETTE[slot]
+        pts = " ".join(
+            f"{frame.x(to_frac_x(x)):.1f},{frame.y(to_frac_y(y)):.1f}"
+            for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f'<circle cx="{frame.x(to_frac_x(x)):.1f}" '
+                f'cy="{frame.y(to_frac_y(y)):.1f}" r="4" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2"/>'
+            )
+        # Direct label at the line's end; text stays in ink, not series color.
+        end_x = frame.x(to_frac_x(xs[-1]))
+        end_y = frame.y(to_frac_y(ys[-1]))
+        parts.append(
+            f'<text x="{min(end_x + 8, frame.width - 4):.1f}" y="{end_y + 3:.1f}" '
+            f'font-size="10" fill="{TEXT_PRIMARY}">{name}</text>'
+        )
+
+    # X-axis tick labels at the series' x positions (deduplicated).
+    baseline = frame.y(0.0) if not log_scale else frame.margin_top + frame.plot_h
+    for x in sorted({v for v in all_x}):
+        parts.append(
+            f'<text x="{frame.x(to_frac_x(x)):.1f}" y="{baseline + 14:.1f}" '
+            f'font-size="10" text-anchor="middle" fill="{TEXT_SECONDARY}">{_fmt_val(x)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+#: Per-experiment figure specification: (kind, kwargs).
+_FIGURE_SPECS: dict[str, tuple[str, dict]] = {
+    "tab1": ("bar", dict(value_column="Triangles", log_scale=True)),
+    "tab2": ("bar", dict(value_column="Max degree", log_scale=True)),
+    "fig3": ("bar", dict(value_column="Edges/ms", log_scale=True)),
+    "fig4": (
+        "line",
+        dict(x_column="Colors", y_column="Total ms", series_column="Graph", log_scale=True),
+    ),
+    "fig6": ("bar", dict(value_column="PIM speedup", log_scale=True)),
+    "fig7": (
+        "line",
+        dict(x_column="Round", y_columns=["CPU cum ms", "GPU cum ms", "PIM cum ms"]),
+    ),
+    "abl_coloring": ("bar", dict(value_column="Max-DPU ms")),
+    "abl_energy": ("bar", dict(value_column="Dynamic mJ")),
+    "abl_dynamic": ("line", dict(x_column="Batches", y_columns=["PIM speedup"])),
+    "abl_tasklets": ("line", dict(x_column="Tasklets", y_columns=["Speedup vs 1"])),
+}
+
+
+def figure_spec_for(exp_id: str) -> tuple[str, dict] | None:
+    return _FIGURE_SPECS.get(exp_id)
+
+
+def render_figure(exp_id: str, table: Table) -> str | None:
+    """SVG for one experiment's table, or None if no figure is specified."""
+    spec = figure_spec_for(exp_id)
+    if spec is None:
+        return None
+    kind, kwargs = spec
+    try:
+        if kind == "bar":
+            return bar_chart_svg(table, **kwargs)
+        return line_chart_svg(table, **kwargs)
+    except (ValueError, KeyError):
+        return None

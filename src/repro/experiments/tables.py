@@ -1,0 +1,123 @@
+"""Lightweight result tables for the experiment harness.
+
+Every experiment returns a :class:`Table`: a title, column headers, rows, and
+free-form notes recording how the run maps onto the paper's artifact.  The
+text renderer produces the aligned rows that ``repro-experiments`` prints and
+that EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A rendered experiment result."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(r) for r in self.rows],
+            "notes": self.notes,
+        }
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (for generated reports)."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in cells:
+            lines.append("| " + " | ".join(row) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(f"_{self.notes}_")
+        return "\n".join(lines)
+
+    def render_chart(
+        self,
+        value_column: str,
+        label_columns: list[str] | None = None,
+        width: int = 48,
+        log_scale: bool = False,
+    ) -> str:
+        """Horizontal ASCII bar chart of one numeric column.
+
+        The terminal stand-in for the paper's figures: each row becomes a bar
+        scaled to the column maximum (optionally log-scaled, useful for the
+        orders-of-magnitude spreads of Figs. 3 and 7).
+        """
+        import math
+
+        labels = label_columns or [self.headers[0]]
+        idx = self.headers.index(value_column)
+        values = [float(row[idx]) for row in self.rows]
+        if not values:
+            return f"== {self.title} == (no rows)"
+
+        def scaled(v: float) -> float:
+            if log_scale:
+                floor = min((x for x in values if x > 0), default=1.0)
+                return math.log10(max(v, floor) / floor * 10.0)
+            return v
+
+        peak = max(scaled(v) for v in values) or 1.0
+        label_cells = [
+            " ".join(_fmt(row[self.headers.index(col)]) for col in labels)
+            for row in self.rows
+        ]
+        label_width = max(len(c) for c in label_cells)
+        lines = [f"== {self.title} == ({value_column})"]
+        for cell, value in zip(label_cells, values):
+            bar = "#" * max(1 if value > 0 else 0, round(width * scaled(value) / peak))
+            lines.append(f"{cell.ljust(label_width)} | {bar} {_fmt(value)}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

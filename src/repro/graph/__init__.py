@@ -1,0 +1,53 @@
+"""Graph substrate: COO/CSR containers, IO, generators, statistics, exact oracle."""
+
+from .coo import COOGraph
+from .csr import CSRGraph, ConversionStats, coo_to_csr, forward_csr
+from .datasets import DATASET_NAMES, TIERS, get_dataset
+from .generators import (
+    barabasi_albert,
+    configuration_model,
+    dense_community,
+    erdos_renyi,
+    grid_with_diagonals,
+    hub_graph,
+    powerlaw_degree_sequence,
+    rmat,
+    triadic_closure,
+)
+from .io import load_npz, read_edge_list, read_matrix_market, save_npz, write_edge_list
+from .stats import GraphStats, compute_stats, degree_stats
+from .local_triangles import count_triangles_per_node, local_clustering
+from .triangles import count_triangles, triangles_per_edge_budget, wedge_count
+
+__all__ = [
+    "COOGraph",
+    "CSRGraph",
+    "ConversionStats",
+    "coo_to_csr",
+    "forward_csr",
+    "DATASET_NAMES",
+    "TIERS",
+    "get_dataset",
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "triadic_closure",
+    "grid_with_diagonals",
+    "hub_graph",
+    "dense_community",
+    "configuration_model",
+    "powerlaw_degree_sequence",
+    "read_edge_list",
+    "read_matrix_market",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "GraphStats",
+    "compute_stats",
+    "degree_stats",
+    "count_triangles",
+    "count_triangles_per_node",
+    "local_clustering",
+    "wedge_count",
+    "triangles_per_edge_budget",
+]

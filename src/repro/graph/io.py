@@ -1,0 +1,143 @@
+"""Reading and writing COO edge lists.
+
+The paper's host code streams a text file of ``(row, column)`` tuples.  We
+support that format (with ``#`` / ``%`` comment lines, as used by SNAP and
+SuiteSparse exports) plus a compact ``.npz`` binary format for cached datasets.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import GraphFormatError
+from .coo import COOGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_edge_list(
+    path: str | os.PathLike | io.TextIOBase,
+    num_nodes: int | None = None,
+    name: str | None = None,
+) -> COOGraph:
+    """Parse a whitespace-separated edge-list text file into a :class:`COOGraph`.
+
+    Lines starting with ``#`` or ``%`` are comments.  Each data line must hold
+    at least two integer fields (extra fields, e.g. weights or timestamps, are
+    ignored, matching how the paper treats its datasets as unweighted).
+    """
+    if isinstance(path, io.TextIOBase):
+        text = path.read()
+        label = name or "stream"
+    else:
+        p = Path(path)
+        text = p.read_text()
+        label = name or p.stem
+    rows: list[int] = []
+    cols: list[int] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line[0] in "#%":
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {lineno}: expected at least two fields, got {line!r}")
+        try:
+            rows.append(int(parts[0]))
+            cols.append(int(parts[1]))
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: non-integer node ID in {line!r}") from exc
+    src = np.asarray(rows, dtype=np.int64)
+    dst = np.asarray(cols, dtype=np.int64)
+    if num_nodes is None:
+        num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    return COOGraph(src=src, dst=dst, num_nodes=num_nodes, name=label)
+
+
+def read_matrix_market(
+    path: str | os.PathLike | io.TextIOBase, name: str | None = None
+) -> COOGraph:
+    """Parse a SuiteSparse / Matrix Market coordinate file as a graph.
+
+    The paper's V1r input comes from the SuiteSparse collection, which ships
+    ``.mtx`` files: a ``%%MatrixMarket matrix coordinate ...`` banner, comment
+    lines, one ``rows cols nnz`` size line, then 1-based ``row col [value]``
+    entries.  Values are ignored (the TC problem is unweighted); indices are
+    shifted to 0-based.
+    """
+    if isinstance(path, io.TextIOBase):
+        text = path.read()
+        label = name or "mtx"
+    else:
+        p = Path(path)
+        text = p.read_text()
+        label = name or p.stem
+    lines = [ln.strip() for ln in text.splitlines()]
+    body = [ln for ln in lines if ln and not ln.startswith("%")]
+    if not body:
+        raise GraphFormatError("matrix market file has no size line")
+    size_fields = body[0].split()
+    if len(size_fields) != 3:
+        raise GraphFormatError(f"malformed size line: {body[0]!r}")
+    try:
+        rows_n, cols_n, nnz = (int(f) for f in size_fields)
+    except ValueError as exc:
+        raise GraphFormatError(f"non-integer size line: {body[0]!r}") from exc
+    entries = body[1:]
+    if len(entries) != nnz:
+        raise GraphFormatError(f"expected {nnz} entries, found {len(entries)}")
+    src = np.empty(nnz, dtype=np.int64)
+    dst = np.empty(nnz, dtype=np.int64)
+    for i, line in enumerate(entries):
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"entry {i + 1}: expected 'row col', got {line!r}")
+        try:
+            src[i] = int(parts[0]) - 1
+            dst[i] = int(parts[1]) - 1
+        except ValueError as exc:
+            raise GraphFormatError(f"entry {i + 1}: non-integer index in {line!r}") from exc
+    if nnz and (src.min() < 0 or dst.min() < 0):
+        raise GraphFormatError("matrix market indices must be 1-based")
+    return COOGraph(src=src, dst=dst, num_nodes=max(rows_n, cols_n), name=label)
+
+
+def write_edge_list(graph: COOGraph, path: str | os.PathLike, header: bool = True) -> None:
+    """Write the graph as a text edge list (one ``u v`` pair per line)."""
+    p = Path(path)
+    with p.open("w") as fh:
+        if header:
+            fh.write(f"# {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+        np.savetxt(fh, graph.edges(), fmt="%d")
+
+
+def save_npz(graph: COOGraph, path: str | os.PathLike) -> None:
+    """Save the graph in compressed binary form (fast cache format)."""
+    np.savez_compressed(
+        Path(path),
+        src=graph.src,
+        dst=graph.dst,
+        num_nodes=np.int64(graph.num_nodes),
+        name=np.bytes_(graph.name.encode("utf-8")),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> COOGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return COOGraph(
+            src=data["src"],
+            dst=data["dst"],
+            num_nodes=int(data["num_nodes"]),
+            name=bytes(data["name"]).decode("utf-8"),
+        )

@@ -1,0 +1,127 @@
+"""Exact triangle counting used as ground truth throughout the repository.
+
+This is *not* the paper's PIM algorithm — it is the oracle every experiment
+measures relative error against (and the functional core the CPU/GPU baseline
+models wrap).  It implements the classic degree-ordered forward-edge iterator:
+orient every edge from the endpoint of lower degree to the endpoint of higher
+degree (ties broken by ID), then for each oriented edge ``(a, b)`` count the
+members of ``N+(b)`` that are also forward neighbors of ``a``.  Each triangle
+is counted exactly once, and the degree ordering bounds the total wedge work
+by ``O(m^{3/2})`` independent of the raw ID ordering — which is what keeps the
+oracle fast even on the hub-dominated Wikipedia-like graphs that slow the
+paper's ID-ordered kernel down (the very effect Fig. 3 documents).
+
+Everything is vectorized; the only Python-level loop is over bounded-memory
+edge chunks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOGraph
+
+__all__ = ["count_triangles", "triangles_per_edge_budget", "wedge_count"]
+
+
+#: Cap on the number of wedge candidates materialized per chunk (memory bound).
+_DEFAULT_CHUNK_WEDGES = 1 << 23
+
+
+def _degree_oriented_forward(graph: COOGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Return (a, b, indptr, n) for degree-ordered oriented edges in rank space.
+
+    ``a`` and ``b`` are edge endpoints relabeled by degree rank with ``a < b``
+    in rank order, sorted lexicographically; ``indptr`` indexes regions of
+    equal ``a``.
+    """
+    g = graph if graph.is_canonical() else graph.canonicalize()
+    n = g.num_nodes
+    deg = g.degrees()
+    # Rank nodes by (degree, id); rank_of[node] is its position.
+    order = np.lexsort((np.arange(n), deg))
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[order] = np.arange(n, dtype=np.int64)
+    ra = rank_of[g.src]
+    rb = rank_of[g.dst]
+    a = np.minimum(ra, rb)
+    b = np.maximum(ra, rb)
+    sort_idx = np.lexsort((b, a))
+    a, b = a[sort_idx], b[sort_idx]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(a, minlength=n), out=indptr[1:])
+    return a, b, indptr, n
+
+
+def count_triangles(graph: COOGraph, chunk_wedges: int = _DEFAULT_CHUNK_WEDGES) -> int:
+    """Exact number of triangles in ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; canonicalized internally if needed.
+    chunk_wedges:
+        Upper bound on wedge candidates held in memory at once.
+    """
+    a, b, indptr, n = _degree_oriented_forward(graph)
+    m = a.size
+    if m == 0:
+        return 0
+    keys = a * np.int64(n) + b  # sorted ascending because edges are lex-sorted
+
+    out_deg = np.diff(indptr)
+    wedge_per_edge = out_deg[b]
+    total = 0
+    start = 0
+    cum = np.concatenate(([0], np.cumsum(wedge_per_edge)))
+    while start < m:
+        # Grow the chunk until its wedge budget is met.
+        stop = int(np.searchsorted(cum, cum[start] + chunk_wedges, side="right"))
+        stop = max(stop - 1, start + 1)
+        stop = min(stop, m)
+        total += _count_chunk(a, b, indptr, keys, n, start, stop)
+        start = stop
+    return int(total)
+
+
+def _count_chunk(
+    a: np.ndarray,
+    b: np.ndarray,
+    indptr: np.ndarray,
+    keys: np.ndarray,
+    n: int,
+    start: int,
+    stop: int,
+) -> int:
+    """Count wedge closures for edges in ``[start, stop)``."""
+    ea = a[start:stop]
+    eb = b[start:stop]
+    starts = indptr[eb]
+    counts = indptr[eb + 1] - starts
+    total_w = int(counts.sum())
+    if total_w == 0:
+        return 0
+    # Gather candidate third vertices w = N+(b) for every edge, flat.
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.arange(total_w, dtype=np.int64) - offsets + np.repeat(starts, counts)
+    w = b[flat]
+    u = np.repeat(ea, counts)
+    cand = u * np.int64(n) + w
+    pos = np.searchsorted(keys, cand)
+    pos[pos >= keys.size] = keys.size - 1
+    return int(np.count_nonzero(keys[pos] == cand))
+
+
+def wedge_count(graph: COOGraph) -> int:
+    """Number of paths of length two (open + closed wedges): ``sum d(d-1)/2``."""
+    g = graph if graph.is_canonical() else graph.canonicalize()
+    deg = g.degrees().astype(np.int64)
+    return int((deg * (deg - 1) // 2).sum())
+
+
+def triangles_per_edge_budget(graph: COOGraph) -> int:
+    """Total wedge work of the degree-ordered iterator (oracle cost metric)."""
+    a, b, indptr, _ = _degree_oriented_forward(graph)
+    if a.size == 0:
+        return 0
+    return int(np.diff(indptr)[b].sum())

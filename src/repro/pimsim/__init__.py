@@ -1,0 +1,39 @@
+"""Simulated UPMEM PIM system: DPUs, MRAM/WRAM, transfers, kernels, energy.
+
+Functional execution with analytic timing — see DESIGN.md Sec. 2 for the
+substitution rationale and ``config.CostModel`` for calibration constants.
+"""
+
+from .config import DEVKIT_SYSTEM, PAPER_SYSTEM, CostModel, DpuConfig, PimSystemConfig
+from .dpu import Dpu, DpuRunStats
+from .energy import EnergyModel, EnergyReport
+from .kernel import Kernel, SimClock
+from .mram import Mram
+from .system import DpuSet, PimSystem
+from .trace import Trace, TraceEvent, render_timeline
+from .transfer import TransferModel, TransferStats
+from .wram import Wram, WramPlan
+
+__all__ = [
+    "PimSystemConfig",
+    "DpuConfig",
+    "CostModel",
+    "PAPER_SYSTEM",
+    "DEVKIT_SYSTEM",
+    "Dpu",
+    "DpuRunStats",
+    "Mram",
+    "Wram",
+    "WramPlan",
+    "Kernel",
+    "SimClock",
+    "PimSystem",
+    "Trace",
+    "TraceEvent",
+    "render_timeline",
+    "DpuSet",
+    "TransferModel",
+    "TransferStats",
+    "EnergyModel",
+    "EnergyReport",
+]

@@ -1,0 +1,141 @@
+"""Configuration and cost model of the simulated UPMEM PIM system.
+
+The paper's testbed is 20 PIM-enabled DIMMs (codename P21) totalling 2560
+DPUs, each a 32-bit in-order core at ~350 MHz with a 64-MB DRAM bank (MRAM),
+a 64-KB scratchpad (WRAM), a 24-KB instruction memory (IRAM) and 16 hardware
+threads (tasklets).  We reproduce those parameters as defaults.
+
+Because no UPMEM hardware is available here, *time* is produced by an analytic
+cost model whose constants come from the public characterization literature:
+
+* UPMEM User Manual v2023.2 (clock, memory sizes, tasklet count);
+* the PrIM benchmarks characterization (Gomez-Luna et al., IEEE Access 2022):
+  the DPU pipeline retires ~1 instruction/cycle once >= 11 tasklets are
+  active; sustained MRAM streaming bandwidth ~628-633 MB/s per DPU; CPU->DPU
+  parallel-transfer aggregate bandwidth in the several-GB/s range with rank
+  padding semantics.
+
+Every constant is a dataclass field so experiments can run sensitivity
+sweeps; none of the reproduction claims depend on an exact value, only on the
+orders of magnitude (see EXPERIMENTS.md, "Calibration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..common.errors import ConfigurationError
+from ..common.units import KiB, MiB
+
+__all__ = ["DpuConfig", "CostModel", "PimSystemConfig", "PAPER_SYSTEM", "DEVKIT_SYSTEM"]
+
+
+@dataclass(frozen=True)
+class DpuConfig:
+    """Per-DPU architectural parameters (UPMEM P21 defaults)."""
+
+    mram_bytes: int = 64 * MiB
+    wram_bytes: int = 64 * KiB
+    iram_bytes: int = 24 * KiB
+    num_tasklets: int = 16
+    clock_hz: float = 350e6
+    #: Number of resident tasklets needed to keep the 14-stage pipeline full;
+    #: PrIM measures full throughput at >= 11 tasklets.
+    pipeline_saturation: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_tasklets < 1:
+            raise ConfigurationError("num_tasklets must be >= 1")
+        if self.pipeline_saturation < 1:
+            raise ConfigurationError("pipeline_saturation must be >= 1")
+        if min(self.mram_bytes, self.wram_bytes, self.iram_bytes) <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytic time constants for DPU execution, transfers, and the host.
+
+    All bandwidths in bytes/second, latencies in seconds, per-op costs in
+    cycles of the relevant clock.
+    """
+
+    # --- DPU side -----------------------------------------------------------
+    #: Fixed cycles charged per MRAM<->WRAM DMA request (setup + first word).
+    mram_dma_latency_cycles: float = 77.0
+    #: Sustained MRAM streaming read bandwidth per DPU (PrIM: ~628 MB/s).
+    mram_read_bandwidth: float = 628e6
+    #: Sustained MRAM streaming write bandwidth per DPU (PrIM: ~633 MB/s).
+    mram_write_bandwidth: float = 633e6
+
+    # --- CPU <-> PIM transfers ----------------------------------------------
+    #: Same-buffer broadcast to all DPUs (PrIM: ~6.7 GB/s).
+    broadcast_bandwidth: float = 6.68e9
+    #: Aggregate distinct-buffer scatter bandwidth across ranks (PrIM: ~4.7 GB/s).
+    scatter_bandwidth: float = 4.74e9
+    #: Aggregate DPU->CPU gather bandwidth (PrIM: ~4.7 GB/s, asymmetric APIs differ).
+    gather_bandwidth: float = 4.74e9
+    #: Fixed software latency per transfer call.
+    transfer_latency: float = 20e-6
+
+    # --- setup ----------------------------------------------------------------
+    #: Per-rank DPU allocation latency (drives Fig. 4's LiveJournal inversion).
+    rank_alloc_latency: float = 2.0e-3
+    #: Base allocation latency independent of rank count.
+    alloc_base_latency: float = 10.0e-3
+    #: Kernel binary load, charged once per rank (broadcast over ranks).
+    kernel_load_latency: float = 0.4e-3
+    #: Fixed latency of one kernel launch + completion fence.
+    launch_latency: float = 40e-6
+
+    # --- host model -----------------------------------------------------------
+    host_clock_hz: float = 2.5e9
+    host_threads: int = 32
+    #: Host cycles to read, hash-color and route one COO edge into its batches.
+    host_edge_cycles: float = 35.0
+    #: Host memory copy bandwidth for batch assembly (per socket, aggregate).
+    host_memcpy_bandwidth: float = 10e9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mram_read_bandwidth",
+            "mram_write_bandwidth",
+            "broadcast_bandwidth",
+            "scatter_bandwidth",
+            "gather_bandwidth",
+            "host_clock_hz",
+            "host_memcpy_bandwidth",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.host_threads < 1:
+            raise ConfigurationError("host_threads must be >= 1")
+
+
+@dataclass(frozen=True)
+class PimSystemConfig:
+    """Whole-system shape: ranks x DPUs-per-rank, plus DPU and cost parameters."""
+
+    num_ranks: int = 40
+    dpus_per_rank: int = 64
+    dpu: DpuConfig = field(default_factory=DpuConfig)
+    cost: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1 or self.dpus_per_rank < 1:
+            raise ConfigurationError("system must have at least one rank and one DPU")
+
+    @property
+    def total_dpus(self) -> int:
+        return self.num_ranks * self.dpus_per_rank
+
+    def with_cost(self, **overrides) -> "PimSystemConfig":
+        """Return a copy with some cost-model constants replaced (sweeps)."""
+        return replace(self, cost=replace(self.cost, **overrides))
+
+
+#: The paper's evaluation system: 20 DIMMs x 2 ranks x 64 DPUs = 2560 DPUs.
+PAPER_SYSTEM = PimSystemConfig(num_ranks=40, dpus_per_rank=64)
+
+#: A single-DIMM developer kit: 2 ranks x 64 DPUs = 128 DPUs (supports C <= 8).
+DEVKIT_SYSTEM = PimSystemConfig(num_ranks=2, dpus_per_rank=64)

@@ -1,0 +1,59 @@
+"""Optional energy ledger for the simulated PIM system.
+
+The paper does not report energy, but energy efficiency is the standard PIM
+motivation and an easy ablation on top of the simulator's existing counters.
+Constants are order-of-magnitude figures from the PIM literature (UPMEM
+whitepapers and the PrIM characterization); they parameterize a linear model
+
+``E = instr * e_instr + mram_bytes * e_mram + xfer_bytes * e_xfer``
+
+good enough for relative comparisons between algorithm configurations (the
+only use the benchmarks make of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dpu import Dpu
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy constants (joules)."""
+
+    #: Energy per DPU instruction (in-order 32-bit core, ~tens of pJ).
+    instruction_j: float = 30e-12
+    #: Energy per byte moved between MRAM and WRAM.
+    mram_byte_j: float = 150e-12
+    #: Energy per byte moved over the CPU<->DIMM bus.
+    transfer_byte_j: float = 500e-12
+    #: Static power per active DPU (leakage + clock), in watts.
+    dpu_static_w: float = 0.05
+
+    def dpu_energy(self, dpu: Dpu, active_seconds: float | None = None) -> float:
+        """Dynamic (+ optional static) energy of one DPU's accumulated charges."""
+        stats = dpu.run_stats()
+        energy = (
+            stats.instructions * self.instruction_j + stats.dma_bytes * self.mram_byte_j
+        )
+        if active_seconds is None:
+            active_seconds = stats.compute_seconds
+        return energy + self.dpu_static_w * active_seconds
+
+    def transfer_energy(self, nbytes: int) -> float:
+        return nbytes * self.transfer_byte_j
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Aggregated energy for a whole run."""
+
+    dpu_dynamic_j: float
+    transfer_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.dpu_dynamic_j + self.transfer_j

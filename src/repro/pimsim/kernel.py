@@ -1,0 +1,76 @@
+"""Kernel protocol and simulated launch clock.
+
+A *kernel* is the unit of code loaded into every allocated DPU's IRAM and
+launched by the host.  In this simulator a kernel is a Python object with a
+``run(dpu)`` method that (a) computes the real result from the DPU's MRAM
+symbols and (b) charges the DPU's instruction/DMA ledgers for the work the
+equivalent C kernel would perform.  The SPMD model of UPMEM is preserved:
+every DPU runs the same kernel over its own private data.
+
+:class:`SimClock` is the named-phase time ledger used by the host pipeline to
+produce the paper's Setup / Sample-Creation / Triangle-Count breakdown
+(Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..common.errors import KernelLaunchError
+from .dpu import Dpu
+from .wram import WramPlan
+
+__all__ = ["Kernel", "SimClock"]
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """SPMD kernel interface: same program, per-DPU data."""
+
+    #: Name used for diagnostics and the kernel-load phase label.
+    name: str
+
+    def wram_plan(self, dpu: Dpu) -> WramPlan:
+        """Static scratchpad layout; validated against WRAM capacity at load."""
+        ...
+
+    def run(self, dpu: Dpu) -> None:
+        """Execute on one DPU: read MRAM symbols, write results, charge costs."""
+        ...
+
+
+@dataclass
+class SimClock:
+    """Accumulates simulated seconds into named phases.
+
+    The host pipeline uses the paper's three phases (``setup``,
+    ``sample_creation``, ``triangle_count``); other components may add their
+    own labels (the ledger is open-ended).
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def advance(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise KernelLaunchError(f"cannot advance clock by {seconds} s")
+        self.phases[phase] = self.phases.get(phase, 0.0) + float(seconds)
+
+    def get(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    def total(self) -> float:
+        return float(sum(self.phases.values()))
+
+    def merge(self, other: "SimClock") -> None:
+        for phase, seconds in other.phases.items():
+            self.advance(phase, seconds)
+
+    def copy(self) -> "SimClock":
+        clock = SimClock()
+        clock.phases = dict(self.phases)
+        return clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.6f}" for k, v in self.phases.items())
+        return f"SimClock({inner})"

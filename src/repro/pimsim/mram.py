@@ -1,0 +1,94 @@
+"""MRAM bank model: the 64-MB DRAM bank private to each DPU.
+
+The model tracks named allocations with 8-byte alignment (the DMA engine's
+granularity), enforces the bank capacity, and counts read/write traffic so
+the DPU cost model can charge DMA time.  Data itself is held as NumPy arrays
+in host memory — the simulator is functional, not bit-level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import MramCapacityError
+from ..common.units import fmt_bytes
+
+__all__ = ["Mram"]
+
+_ALIGN = 8
+
+
+def _aligned(nbytes: int) -> int:
+    return (int(nbytes) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass
+class Mram:
+    """One DPU's DRAM bank: a bump allocator plus traffic counters."""
+
+    capacity: int
+    used: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _symbols: dict[str, np.ndarray] = field(default_factory=dict)
+    _sizes: dict[str, int] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- allocation
+    def store(self, name: str, array: np.ndarray, *, count_write: bool = True) -> None:
+        """Allocate (or replace) a named MRAM buffer holding ``array``.
+
+        Raises :class:`MramCapacityError` if the bank would overflow — the TC
+        pipeline catches this case up front by sizing the reservoir instead.
+        """
+        nbytes = _aligned(array.nbytes)
+        old = self._sizes.get(name, 0)
+        new_used = self.used - old + nbytes
+        if new_used > self.capacity:
+            raise MramCapacityError(
+                f"MRAM overflow storing {name!r}: need {fmt_bytes(new_used)} "
+                f"of {fmt_bytes(self.capacity)}"
+            )
+        self.used = new_used
+        self._symbols[name] = array
+        self._sizes[name] = nbytes
+        if count_write:
+            self.bytes_written += int(array.nbytes)
+
+    def load(self, name: str, *, count_read: bool = True) -> np.ndarray:
+        """Fetch a named buffer (optionally charging read traffic)."""
+        arr = self._symbols[name]
+        if count_read:
+            self.bytes_read += int(arr.nbytes)
+        return arr
+
+    def has(self, name: str) -> bool:
+        return name in self._symbols
+
+    def discard(self, name: str) -> None:
+        """Free one buffer."""
+        if name in self._symbols:
+            self.used -= self._sizes.pop(name)
+            del self._symbols[name]
+
+    def free_all(self) -> None:
+        self._symbols.clear()
+        self._sizes.clear()
+        self.used = 0
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an additional allocation of ``nbytes`` would fit."""
+        return _aligned(nbytes) <= self.free
+
+    def symbols(self) -> tuple[str, ...]:
+        return tuple(self._symbols)
+
+    def reset_traffic(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0

@@ -1,0 +1,157 @@
+"""The PIM system: allocation, data movement, and kernel launches.
+
+:class:`PimSystem` models the host-visible API of the UPMEM SDK that the
+paper's host code uses — ``dpu_alloc``, ``dpu_load``, push/pull transfers and
+``dpu_launch`` — with every operation charging simulated time to a
+:class:`~repro.pimsim.kernel.SimClock`.  Launches execute each DPU's kernel
+functionally (sequentially in Python) but advance the clock by the *maximum*
+per-DPU compute time, because real DPUs run in parallel and the host waits on
+the slowest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import KernelLaunchError, PimAllocationError, TransferError
+from .config import PimSystemConfig
+from .dpu import Dpu
+from .kernel import Kernel, SimClock
+from .trace import Trace
+from .transfer import TransferModel
+
+__all__ = ["PimSystem", "DpuSet"]
+
+
+@dataclass
+class PimSystem:
+    """Top-level handle on the simulated machine."""
+
+    config: PimSystemConfig = field(default_factory=PimSystemConfig)
+
+    def allocate(self, num_dpus: int, clock: SimClock | None = None) -> "DpuSet":
+        """Allocate ``num_dpus`` PIM cores (the ``dpu_alloc`` analogue).
+
+        Charges the setup phase with a base latency plus a per-rank term —
+        allocating more DPUs takes longer, the overhead the paper points to
+        for the LiveJournal inversion in Fig. 4.
+        """
+        if num_dpus < 1:
+            raise PimAllocationError("must allocate at least one DPU")
+        if num_dpus > self.config.total_dpus:
+            raise PimAllocationError(
+                f"requested {num_dpus} DPUs but the system has {self.config.total_dpus}"
+            )
+        clock = clock if clock is not None else SimClock()
+        transfer = TransferModel(self.config)
+        ranks = transfer.ranks_used(num_dpus)
+        alloc_seconds = (
+            self.config.cost.alloc_base_latency + ranks * self.config.cost.rank_alloc_latency
+        )
+        clock.advance("setup", alloc_seconds)
+        dpus = [
+            Dpu(dpu_id=i, config=self.config.dpu, cost=self.config.cost)
+            for i in range(num_dpus)
+        ]
+        trace = Trace()
+        trace.record("setup", "alloc", alloc_seconds, detail=f"{num_dpus} DPUs / {ranks} ranks")
+        return DpuSet(system=self, dpus=dpus, clock=clock, transfer=transfer, trace=trace)
+
+
+@dataclass
+class DpuSet:
+    """A set of allocated DPUs sharing one kernel and one time ledger."""
+
+    system: PimSystem
+    dpus: list[Dpu]
+    clock: SimClock
+    transfer: TransferModel
+    trace: Trace = field(default_factory=Trace)
+    kernel: Kernel | None = None
+    _freed: bool = False
+
+    def __len__(self) -> int:
+        return len(self.dpus)
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise KernelLaunchError("DPU set has been freed")
+
+    # ----------------------------------------------------------------- kernel
+    def load_kernel(self, kernel: Kernel, phase: str = "setup") -> None:
+        """Load a kernel into every DPU (the ``dpu_load`` analogue).
+
+        Validates the kernel's WRAM plan against every DPU and charges a
+        per-rank load latency.
+        """
+        self._check_alive()
+        for dpu in self.dpus:
+            dpu.wram.apply_plan(kernel.wram_plan(dpu))
+        ranks = self.transfer.ranks_used(len(self.dpus))
+        load_seconds = ranks * self.system.config.cost.kernel_load_latency
+        self.clock.advance(phase, load_seconds)
+        self.trace.record(phase, "load_kernel", load_seconds, detail=kernel.name)
+        self.kernel = kernel
+
+    def launch(self, phase: str = "triangle_count") -> None:
+        """Run the loaded kernel on every DPU; advance clock by the slowest DPU."""
+        self._check_alive()
+        if self.kernel is None:
+            raise KernelLaunchError("no kernel loaded")
+        times = []
+        for dpu in self.dpus:
+            dpu.reset_charges()
+            self.kernel.run(dpu)
+            times.append(dpu.compute_seconds())
+        launch_seconds = self.system.config.cost.launch_latency + (max(times) if times else 0.0)
+        self.clock.advance(phase, launch_seconds)
+        self.trace.record(
+            phase, "launch", launch_seconds, detail=f"{self.kernel.name} on {len(self.dpus)} DPUs"
+        )
+
+    # -------------------------------------------------------------- transfers
+    def broadcast(self, symbol: str, array: np.ndarray, phase: str = "sample_creation") -> None:
+        """Copy the same buffer into every DPU's MRAM."""
+        self._check_alive()
+        stats = self.transfer.broadcast(int(array.nbytes), len(self.dpus))
+        self.clock.advance(phase, stats.seconds)
+        self.trace.record(phase, "broadcast", stats.seconds, stats.payload_bytes, symbol)
+        for dpu in self.dpus:
+            dpu.mram.store(symbol, array, count_write=False)
+
+    def scatter(
+        self, symbol: str, arrays: list[np.ndarray], phase: str = "sample_creation"
+    ) -> None:
+        """Copy a distinct buffer into each DPU's MRAM (parallel transfer)."""
+        self._check_alive()
+        if len(arrays) != len(self.dpus):
+            raise TransferError(
+                f"scatter needs {len(self.dpus)} buffers, got {len(arrays)}"
+            )
+        sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
+        stats = self.transfer.scatter(sizes)
+        self.clock.advance(phase, stats.seconds)
+        self.trace.record(phase, "scatter", stats.seconds, stats.payload_bytes, symbol)
+        for dpu, arr in zip(self.dpus, arrays):
+            dpu.mram.store(symbol, arr, count_write=False)
+
+    def gather(self, symbol: str, phase: str = "triangle_count") -> list[np.ndarray]:
+        """Pull one named buffer back from every DPU."""
+        self._check_alive()
+        arrays = [dpu.mram.load(symbol, count_read=False) for dpu in self.dpus]
+        sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
+        stats = self.transfer.gather(sizes)
+        self.clock.advance(phase, stats.seconds)
+        self.trace.record(phase, "gather", stats.seconds, stats.payload_bytes, symbol)
+        return arrays
+
+    # ------------------------------------------------------------------ free
+    def free(self, phase: str = "triangle_count") -> None:
+        """Release the DPUs (the paper folds this into the counting phase)."""
+        self._check_alive()
+        for dpu in self.dpus:
+            dpu.mram.free_all()
+        self.trace.record(phase, "free", 0.0, detail=f"{len(self.dpus)} DPUs")
+        self._freed = True

@@ -1,0 +1,80 @@
+"""Execution trace of the simulated PIM machine.
+
+Every host-visible operation (allocation, kernel load, transfers, launches)
+can append a :class:`TraceEvent`; :func:`render_timeline` prints the run the
+way UPMEM's own profiling dumps read — one line per operation with its
+simulated duration and payload.  Used by the ``--trace`` path of examples and
+by tests asserting the pipeline's operation sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.units import fmt_bytes, fmt_time
+
+__all__ = ["TraceEvent", "Trace", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated operation."""
+
+    phase: str
+    kind: str  # alloc | load_kernel | broadcast | scatter | gather | launch | free
+    seconds: float
+    payload_bytes: int = 0
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(
+        self,
+        phase: str,
+        kind: str,
+        seconds: float,
+        payload_bytes: int = 0,
+        detail: str = "",
+    ) -> None:
+        if self.enabled:
+            self.events.append(
+                TraceEvent(
+                    phase=phase,
+                    kind=kind,
+                    seconds=seconds,
+                    payload_bytes=payload_bytes,
+                    detail=detail,
+                )
+            )
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+    def total_seconds(self, kind: str | None = None) -> float:
+        return sum(e.seconds for e in self.events if kind is None or e.kind == kind)
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        return sum(e.payload_bytes for e in self.events if kind is None or e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_timeline(trace: Trace) -> str:
+    """Human-readable, time-cumulative view of a trace."""
+    lines = [f"{'t (cum)':>12}  {'dt':>12}  {'phase':<16} {'op':<12} {'payload':>10}  detail"]
+    cumulative = 0.0
+    for event in trace.events:
+        cumulative += event.seconds
+        payload = fmt_bytes(event.payload_bytes) if event.payload_bytes else "-"
+        lines.append(
+            f"{fmt_time(cumulative):>12}  {fmt_time(event.seconds):>12}  "
+            f"{event.phase:<16} {event.kind:<12} {payload:>10}  {event.detail}"
+        )
+    return "\n".join(lines)

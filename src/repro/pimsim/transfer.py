@@ -1,0 +1,82 @@
+"""CPU<->PIM transfer time model.
+
+UPMEM transfers come in two flavors the paper's host code uses:
+
+* **broadcast** — the same buffer copied to every DPU (kernel arguments,
+  remap tables): one bus traversal, highest bandwidth.
+* **parallel scatter/gather** — a distinct buffer per DPU.  The runtime
+  moves data rank-by-rank and each rank-level transaction is padded to the
+  *largest* buffer among the rank's DPUs; skewed batch sizes therefore waste
+  bandwidth.  This padding is why the paper's host pads per-DPU batches and
+  why uneven color loads cost real time (Sec. 3.1, "Uneven Edge Distribution").
+
+Times are ``latency + effective_bytes / bandwidth`` with effective bytes
+accounting for the rank padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import TransferError
+from .config import CostModel, PimSystemConfig
+
+__all__ = ["TransferModel", "TransferStats"]
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of one modeled transfer."""
+
+    seconds: float
+    payload_bytes: int
+    effective_bytes: int  # payload + rank padding
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Stateless calculator for transfer times under one system configuration."""
+
+    system: PimSystemConfig
+
+    @property
+    def cost(self) -> CostModel:
+        return self.system.cost
+
+    def broadcast(self, nbytes: int, num_dpus: int) -> TransferStats:
+        """Same ``nbytes`` buffer to ``num_dpus`` DPUs."""
+        if nbytes < 0 or num_dpus < 1:
+            raise TransferError("broadcast needs nbytes >= 0 and num_dpus >= 1")
+        seconds = self.cost.transfer_latency + nbytes / self.cost.broadcast_bandwidth
+        return TransferStats(seconds=seconds, payload_bytes=nbytes, effective_bytes=nbytes)
+
+    def scatter(self, per_dpu_bytes: np.ndarray) -> TransferStats:
+        """Distinct buffers, DPU ``i`` receiving ``per_dpu_bytes[i]``."""
+        return self._parallel(per_dpu_bytes, self.cost.scatter_bandwidth)
+
+    def gather(self, per_dpu_bytes: np.ndarray) -> TransferStats:
+        """Distinct buffers pulled from each DPU."""
+        return self._parallel(per_dpu_bytes, self.cost.gather_bandwidth)
+
+    def _parallel(self, per_dpu_bytes: np.ndarray, bandwidth: float) -> TransferStats:
+        sizes = np.asarray(per_dpu_bytes, dtype=np.int64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise TransferError("per_dpu_bytes must be a non-empty 1-D array")
+        if (sizes < 0).any():
+            raise TransferError("per_dpu_bytes must be non-negative")
+        payload = int(sizes.sum())
+        # DPUs are packed into ranks in ID order; each rank transaction is
+        # padded to its largest member buffer.
+        per_rank = self.system.dpus_per_rank
+        effective = 0
+        for start in range(0, sizes.size, per_rank):
+            chunk = sizes[start : start + per_rank]
+            effective += int(chunk.size * chunk.max())
+        seconds = self.cost.transfer_latency + effective / bandwidth
+        return TransferStats(seconds=seconds, payload_bytes=payload, effective_bytes=effective)
+
+    def ranks_used(self, num_dpus: int) -> int:
+        """How many ranks an allocation of ``num_dpus`` touches."""
+        return int(np.ceil(num_dpus / self.system.dpus_per_rank))

@@ -1,0 +1,72 @@
+"""WRAM (scratchpad) model: the 64-KB working memory shared by a DPU's tasklets.
+
+The TC kernel stages edges from MRAM into per-tasklet WRAM buffers before the
+merge phase (paper Sec. 3.4).  The model's job is to enforce that the kernel's
+buffer plan actually fits — the same constraint that dictates buffer sizes in
+the real C kernel — and to expose the resulting per-tasklet buffer capacity to
+the cost model (it determines how many DMA transfers a scan needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import WramCapacityError
+from ..common.units import fmt_bytes
+
+__all__ = ["Wram", "WramPlan"]
+
+
+@dataclass(frozen=True)
+class WramPlan:
+    """A static WRAM budget split for one kernel.
+
+    Attributes
+    ----------
+    per_tasklet_buffers:
+        Mapping of buffer name -> bytes reserved *per tasklet*.
+    shared_bytes:
+        Bytes reserved once per DPU (kernel globals, mutex-protected state).
+    """
+
+    per_tasklet_buffers: dict[str, int]
+    shared_bytes: int = 0
+
+    def per_tasklet_total(self) -> int:
+        return sum(self.per_tasklet_buffers.values())
+
+    def total(self, num_tasklets: int) -> int:
+        return self.shared_bytes + num_tasklets * self.per_tasklet_total()
+
+
+@dataclass
+class Wram:
+    """Scratchpad capacity checker for one DPU."""
+
+    capacity: int
+    num_tasklets: int
+    plan: WramPlan | None = field(default=None)
+
+    def apply_plan(self, plan: WramPlan) -> None:
+        """Validate and install a kernel's WRAM plan.
+
+        Raises :class:`WramCapacityError` if the plan exceeds the scratchpad,
+        exactly like a real kernel failing to link its stack/buffer layout.
+        """
+        need = plan.total(self.num_tasklets)
+        if need > self.capacity:
+            raise WramCapacityError(
+                f"WRAM plan needs {fmt_bytes(need)} but scratchpad is "
+                f"{fmt_bytes(self.capacity)} ({self.num_tasklets} tasklets)"
+            )
+        self.plan = plan
+
+    def buffer_bytes(self, name: str) -> int:
+        """Per-tasklet byte size of one planned buffer."""
+        if self.plan is None:
+            raise WramCapacityError("no WRAM plan applied")
+        return self.plan.per_tasklet_buffers[name]
+
+    def buffer_capacity(self, name: str, itemsize: int) -> int:
+        """How many ``itemsize``-byte items one planned buffer holds per tasklet."""
+        return max(1, self.buffer_bytes(name) // itemsize)

@@ -1,0 +1,19 @@
+"""Streaming primitives: reservoir sampling, Misra-Gries, uniform sparsification."""
+
+from .estimators import CountCorrection, combine_dpu_counts, relative_error
+from .misra_gries import MisraGries, top_nodes_from_counts
+from .reservoir import EdgeReservoir, expected_sample_edges, reservoir_scale
+from .uniform import UniformSample, uniform_sample
+
+__all__ = [
+    "EdgeReservoir",
+    "reservoir_scale",
+    "expected_sample_edges",
+    "MisraGries",
+    "top_nodes_from_counts",
+    "UniformSample",
+    "uniform_sample",
+    "CountCorrection",
+    "combine_dpu_counts",
+    "relative_error",
+]

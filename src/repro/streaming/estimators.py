@@ -1,0 +1,93 @@
+"""Estimator algebra: composing the paper's three count corrections.
+
+A raw per-DPU triangle count ``T_d`` passes through up to three adjustments
+before contributing to the final answer:
+
+1. **Reservoir correction** (Sec. 3.3): divide by
+   ``p_res(d) = M(M-1)(M-2) / (t(t-1)(t-2))`` — *per DPU*, since each DPU sees
+   a different number of edges ``t``.
+2. **Monochromatic correction** (Sec. 3.1): triangles whose three nodes share
+   one color are counted by exactly ``C`` DPUs; the single-color-triplet DPUs
+   count exactly these, so the host subtracts ``(C-1)`` times their (already
+   reservoir-corrected) counts.
+3. **Uniform-sampling correction** (Sec. 3.2): divide the global total by
+   ``p**3``.
+
+The order matters: reservoir correction is per-DPU, the monochromatic
+subtraction mixes DPUs, and the uniform correction is global.  The paper notes
+the two sampling techniques compose (Secs. 3.2/3.3 cross-references); the
+expectation of the composite estimator is the true count because the three
+random processes are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CountCorrection", "combine_dpu_counts", "relative_error"]
+
+
+@dataclass(frozen=True)
+class CountCorrection:
+    """Per-run correction parameters."""
+
+    num_colors: int
+    uniform_p: float = 1.0
+
+    def finalize(
+        self,
+        raw_counts: np.ndarray,
+        reservoir_scales: np.ndarray,
+        mono_mask: np.ndarray,
+    ) -> float:
+        """Apply all corrections; returns the final (possibly fractional) estimate.
+
+        Parameters
+        ----------
+        raw_counts:
+            Per-DPU raw triangle counts ``T_d``.
+        reservoir_scales:
+            Per-DPU survival factors ``p_res(d)`` (1.0 where no overflow).
+        mono_mask:
+            Boolean array marking the DPUs whose triplet has a single color.
+        """
+        return combine_dpu_counts(
+            raw_counts,
+            reservoir_scales,
+            mono_mask,
+            num_colors=self.num_colors,
+            uniform_p=self.uniform_p,
+        )
+
+
+def combine_dpu_counts(
+    raw_counts: np.ndarray,
+    reservoir_scales: np.ndarray,
+    mono_mask: np.ndarray,
+    *,
+    num_colors: int,
+    uniform_p: float = 1.0,
+) -> float:
+    """Functional form of :meth:`CountCorrection.finalize` (see class docs)."""
+    raw = np.asarray(raw_counts, dtype=np.float64)
+    scales = np.asarray(reservoir_scales, dtype=np.float64)
+    mono = np.asarray(mono_mask, dtype=bool)
+    if raw.shape != scales.shape or raw.shape != mono.shape:
+        raise ValueError("raw_counts, reservoir_scales and mono_mask must align")
+    if np.any(scales <= 0):
+        raise ValueError("reservoir scales must be positive")
+    adjusted = raw / scales
+    total = adjusted.sum()
+    # Monochromatic triangles were counted by C DPUs; each single-color DPU's
+    # total is exactly its color's monochromatic count.
+    total -= (num_colors - 1) * adjusted[mono].sum()
+    return float(total / uniform_p**3)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """The paper's error metric: ``|estimate - truth| / truth`` (100% if truth=0 and estimate!=0)."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else 1.0
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,117 @@
+"""Misra-Gries heavy-hitter summary (paper Sec. 3.5).
+
+The host uses a Misra-Gries summary with parameter ``K`` over the node stream
+(each edge contributes both endpoints) to approximately identify the
+highest-degree nodes.  The guarantee used by the paper: after a thread has
+processed a section of the stream with ``n`` items, every node whose frequency
+in that section exceeds ``n / K`` is present in the summary.
+
+Two update paths are provided:
+
+* :meth:`MisraGries.update` — the textbook one-item rule (hash table of at
+  most ``K`` counters; global decrement when full), used by tests and as the
+  semantic reference.
+* :meth:`MisraGries.update_array` — a batch path that exploits the summary's
+  *mergeability* (Agarwal et al., PODS'12): the chunk's exact counts are
+  merged into the summary and the merged table is trimmed back to ``K``
+  entries by subtracting its ``(K+1)``-st largest count.  The merged summary
+  obeys the same ``n / K`` error bound, which is all the paper's pipeline
+  relies on — and it is exactly how the multi-threaded host combines the
+  per-thread summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.validation import check_positive
+
+__all__ = ["MisraGries", "top_nodes_from_counts"]
+
+
+@dataclass
+class MisraGries:
+    """Bounded table of at most ``K`` (item, counter) pairs."""
+
+    k: int
+    counters: dict[int, int] = field(default_factory=dict)
+    items_seen: int = 0
+
+    def __post_init__(self) -> None:
+        self.k = check_positive("k", self.k)
+
+    # ----------------------------------------------------------------- update
+    def update(self, item: int) -> None:
+        """Process one stream item (the literal three-case rule of Sec. 3.5)."""
+        self.items_seen += 1
+        c = self.counters
+        if item in c:
+            c[item] += 1
+        elif len(c) < self.k:
+            c[item] = 1
+        else:
+            dead = []
+            for key in c:
+                c[key] -= 1
+                if c[key] == 0:
+                    dead.append(key)
+            for key in dead:
+                del c[key]
+
+    def update_array(self, items: np.ndarray) -> None:
+        """Merge a whole chunk of stream items (mergeable-summaries path)."""
+        items = np.asarray(items)
+        if items.size == 0:
+            return
+        self.items_seen += int(items.size)
+        values, counts = np.unique(items, return_counts=True)
+        c = self.counters
+        for v, n in zip(values.tolist(), counts.tolist()):
+            c[v] = c.get(v, 0) + int(n)
+        self._trim()
+
+    def merge(self, other: "MisraGries") -> None:
+        """Merge another summary into this one (host thread combine step)."""
+        for item, count in other.counters.items():
+            self.counters[item] = self.counters.get(item, 0) + count
+        self.items_seen += other.items_seen
+        self._trim()
+
+    def _trim(self) -> None:
+        """Shrink the table back to ``k`` entries by the (k+1)-st-largest rule."""
+        c = self.counters
+        if len(c) <= self.k:
+            return
+        counts = np.fromiter(c.values(), dtype=np.int64, count=len(c))
+        # Subtract the (k+1)-st largest value; at most k strictly-larger survive.
+        cut = int(np.partition(counts, len(c) - self.k - 1)[len(c) - self.k - 1])
+        self.counters = {item: n - cut for item, n in c.items() if n > cut}
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def size(self) -> int:
+        return len(self.counters)
+
+    def frequency_lower_bound(self, item: int) -> int:
+        """Counter value (a lower bound on the item's true frequency)."""
+        return self.counters.get(item, 0)
+
+    def top(self, t: int) -> list[int]:
+        """The ``t`` items with largest counters, most frequent first.
+
+        Ties are broken by item ID for determinism.
+        """
+        ordered = sorted(self.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [item for item, _ in ordered[:t]]
+
+    def error_bound(self) -> float:
+        """Maximum undercount of any counter: ``items_seen / k``."""
+        return self.items_seen / self.k
+
+
+def top_nodes_from_counts(graph_degrees: np.ndarray, t: int) -> list[int]:
+    """Exact top-``t`` nodes by degree (oracle used in tests against MG)."""
+    order = np.lexsort((np.arange(graph_degrees.size), -graph_degrees))
+    return order[:t].tolist()

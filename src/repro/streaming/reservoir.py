@@ -1,0 +1,152 @@
+"""Reservoir sampling of edges inside a PIM core's DRAM bank (paper Sec. 3.3).
+
+When a DPU's allotted MRAM region cannot hold every edge routed to it, the
+kernel keeps a uniform sample of at most ``M`` edges using the classic
+reservoir rule (the TRIÈST scheme): the ``t``-th edge is kept with probability
+``M / t``, evicting a uniformly random resident edge.  The triangle count over
+the sample is then unbiased by dividing by
+
+    ``p = M (M-1) (M-2) / (t (t-1) (t-2))``
+
+the probability that all three edges of any fixed triangle survive.
+
+Two APIs are provided: :meth:`EdgeReservoir.offer_one` — the literal
+sequential rule, used by tests and the reference kernel — and
+:meth:`EdgeReservoir.offer_batch`, a vectorized implementation with *exactly*
+the same distribution (it reproduces the sequential acceptance probabilities
+edge by edge and resolves slot collisions in arrival order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.validation import check_positive
+
+__all__ = ["EdgeReservoir", "reservoir_scale", "expected_sample_edges"]
+
+
+def reservoir_scale(capacity: int, total_seen: int) -> float:
+    """Survival probability of a triangle under reservoir sampling.
+
+    Returns the factor ``p`` by which a raw triangle count over the sample
+    must be *divided* to unbias it.  Equals 1 while the reservoir never
+    overflowed (``total_seen <= capacity``) and for degenerate tiny samples.
+    """
+    m, t = int(capacity), int(total_seen)
+    if t <= m or m < 3:
+        return 1.0
+    return (m * (m - 1) * (m - 2)) / (t * (t - 1) * (t - 2))
+
+
+def expected_sample_edges(capacity: int, total: int) -> int:
+    """Edges resident after ``total`` offers: ``min(capacity, total)``."""
+    return min(int(capacity), int(total))
+
+
+@dataclass
+class EdgeReservoir:
+    """Bounded uniform sample of an edge stream, mirroring one MRAM region.
+
+    Parameters
+    ----------
+    capacity:
+        ``M`` — the maximum number of edges the region can hold.
+    rng:
+        Per-DPU random stream (each physical DPU has independent PRNG state).
+    """
+
+    capacity: int
+    rng: np.random.Generator
+    seen: int = 0
+    replacements: int = 0
+    _src: np.ndarray = field(init=False)
+    _dst: np.ndarray = field(init=False)
+    _size: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.capacity = check_positive("capacity", self.capacity)
+        self._src = np.empty(self.capacity, dtype=np.int64)
+        self._dst = np.empty(self.capacity, dtype=np.int64)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def size(self) -> int:
+        """Number of edges currently resident."""
+        return self._size
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Views of the resident edge arrays (length :attr:`size`)."""
+        return self._src[: self._size], self._dst[: self._size]
+
+    def scale(self) -> float:
+        """Unbiasing factor ``p`` for the current (capacity, seen) state."""
+        return reservoir_scale(self.capacity, self.seen)
+
+    @property
+    def overflowed(self) -> bool:
+        return self.seen > self.capacity
+
+    # ---------------------------------------------------------------- updates
+    def offer_one(self, u: int, v: int) -> bool:
+        """Sequential reservoir rule for a single edge; True if it was stored."""
+        self.seen += 1
+        t = self.seen
+        if t <= self.capacity:
+            self._src[self._size] = u
+            self._dst[self._size] = v
+            self._size += 1
+            return True
+        if self.rng.random() < self.capacity / t:
+            slot = int(self.rng.integers(0, self.capacity))
+            self._src[slot] = u
+            self._dst[slot] = v
+            self.replacements += 1
+            return True
+        return False
+
+    def offer_batch(self, src: np.ndarray, dst: np.ndarray) -> int:
+        """Vectorized offer of a whole edge batch; returns #edges stored.
+
+        Statistically identical to calling :meth:`offer_one` in order: the
+        acceptance probability of the ``i``-th batch edge uses its global
+        arrival index, and multiple accepted edges targeting the same slot are
+        resolved last-writer-wins (later arrival overwrites earlier), exactly
+        as sequential processing would.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        n = src.size
+        if n == 0:
+            return 0
+        start = self.seen
+        stored = 0
+        # Phase 1: direct fills while the reservoir has room.
+        fill = min(max(self.capacity - start, 0), n)
+        if fill:
+            self._src[self._size : self._size + fill] = src[:fill]
+            self._dst[self._size : self._size + fill] = dst[:fill]
+            self._size += fill
+            stored += fill
+        # Phase 2: probabilistic replacement for the overflow tail.
+        tail = n - fill
+        if tail > 0:
+            t_index = start + fill + 1 + np.arange(tail, dtype=np.int64)  # global t per edge
+            accept = self.rng.random(tail) < (self.capacity / t_index)
+            idx = np.nonzero(accept)[0]
+            if idx.size:
+                slots = self.rng.integers(0, self.capacity, size=idx.size)
+                # Last write wins: keep only the final occurrence of each slot.
+                last = {}
+                for j, slot in zip(idx.tolist(), slots.tolist()):
+                    last[slot] = j
+                slot_arr = np.fromiter(last.keys(), dtype=np.int64, count=len(last))
+                edge_arr = np.fromiter(last.values(), dtype=np.int64, count=len(last))
+                self._src[slot_arr] = src[fill + edge_arr]
+                self._dst[slot_arr] = dst[fill + edge_arr]
+                self.replacements += int(idx.size)
+                stored += int(idx.size)
+        self.seen += n
+        return stored

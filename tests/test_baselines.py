@@ -1,0 +1,134 @@
+"""CPU/GPU baseline models and their dynamic drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CpuCooCounter,
+    CpuCsrCounter,
+    CpuDynamicDriver,
+    CpuModel,
+    GpuCounter,
+    GpuDynamicDriver,
+    GpuModel,
+)
+from repro.graph.datasets import get_dataset
+from repro.graph.triangles import count_triangles
+
+
+class TestCpuCsr:
+    def test_count_correct(self, small_graph):
+        res = CpuCsrCounter().count(small_graph)
+        assert res.count == count_triangles(small_graph)
+
+    def test_conversion_included_when_asked(self, small_graph):
+        counter = CpuCsrCounter()
+        without = counter.count(small_graph, include_conversion=False)
+        with_conv = counter.count(small_graph, include_conversion=True)
+        assert with_conv.seconds > without.seconds
+        assert with_conv.breakdown["convert"] > 0
+
+    def test_rates_positive(self):
+        model = CpuModel()
+        assert model.count_rate() > 0
+        assert model.conversion_seconds(1000) > 0
+
+    def test_conversion_linear(self):
+        model = CpuModel()
+        assert model.conversion_seconds(2000) == pytest.approx(
+            2 * model.conversion_seconds(1000)
+        )
+
+    def test_count_rate_capped_by_memory(self):
+        fast_compute = CpuModel(steps_per_cycle=100.0, parallel_efficiency=1.0)
+        assert fast_compute.count_rate() == pytest.approx(
+            fast_compute.mem_bandwidth / fast_compute.bytes_per_step
+        )
+
+
+class TestCpuCoo:
+    def test_count_correct(self, small_graph):
+        res = CpuCooCounter().count(small_graph)
+        assert res.count == count_triangles(small_graph)
+
+    def test_slower_than_csr_counting(self, small_graph):
+        """The COO-native strawman pays per-probe hashing; CSR merge wins."""
+        coo = CpuCooCounter().count(small_graph)
+        csr = CpuCsrCounter().count(small_graph, include_conversion=False)
+        assert coo.seconds > csr.count_seconds
+
+
+class TestGpu:
+    def test_count_correct(self, small_graph):
+        res = GpuCounter().count(small_graph)
+        assert res.count == count_triangles(small_graph)
+
+    def test_overhead_floor(self):
+        from repro.graph.coo import COOGraph
+
+        g = COOGraph.from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=3)
+        res = GpuCounter().count(g)
+        assert res.count_seconds >= GpuModel().invocation_overhead
+
+    def test_triangle_density_throttles_gpu(self):
+        """Dense triangle counts dominate GPU time (the Human-Jung effect).
+
+        Compare the triangle-accumulation term directly (the fixed invocation
+        overhead would mask it at the tiny tier).
+        """
+        hj = get_dataset("humanjung", "tiny")
+        wiki = get_dataset("wikipedia", "tiny")
+        model = GpuModel()
+        overhead = model.invocation_overhead
+        hj_s = GpuCounter().count(hj).count_seconds - overhead
+        wiki_s = GpuCounter().count(wiki).count_seconds - overhead
+        # humanjung has >40x the triangles; its variable GPU time dominates.
+        assert hj_s > 5 * wiki_s
+
+    def test_ingest_accounted_separately(self, small_graph):
+        res = GpuCounter().count(small_graph, include_ingest=True)
+        assert res.seconds == pytest.approx(
+            res.breakdown["count"] + res.breakdown["ingest"]
+        )
+
+
+class TestDynamicDrivers:
+    def test_cpu_rounds_track_oracle(self, small_graph):
+        driver = CpuDynamicDriver(small_graph.num_nodes)
+        cumulative = None
+        for batch in small_graph.split_batches(4):
+            cumulative = batch if cumulative is None else cumulative.concat(batch)
+            result = driver.apply_update(batch)
+            assert result.triangles_total == count_triangles(cumulative)
+
+    def test_gpu_rounds_track_oracle(self, small_graph):
+        driver = GpuDynamicDriver(small_graph.num_nodes)
+        total = 0.0
+        for batch in small_graph.split_batches(3):
+            result = driver.apply_update(batch)
+            assert result.cumulative_seconds > total
+            total = result.cumulative_seconds
+        assert result.triangles_total == count_triangles(small_graph)
+
+    def test_cpu_conversion_charged_every_round(self, small_graph):
+        driver = CpuDynamicDriver(small_graph.num_nodes)
+        rounds = [driver.apply_update(b) for b in small_graph.split_batches(4)]
+        converts = [r.breakdown["convert"] for r in rounds]
+        # Conversion grows with the cumulative graph size.
+        assert converts == sorted(converts)
+        assert converts[-1] > converts[0]
+
+    def test_gpu_avoids_conversion(self, small_graph):
+        driver = GpuDynamicDriver(small_graph.num_nodes)
+        result = driver.apply_update(small_graph)
+        assert "convert" not in result.breakdown
+
+    def test_duplicate_edges_across_batches_ignored(self, small_graph):
+        """Re-sending the same edges must not change counts (canonicalize)."""
+        driver = CpuDynamicDriver(small_graph.num_nodes)
+        driver.apply_update(small_graph)
+        result = driver.apply_update(small_graph)
+        assert result.triangles_total == count_triangles(small_graph)
+        assert result.cumulative_edges == small_graph.num_edges

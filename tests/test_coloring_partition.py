@@ -1,0 +1,132 @@
+"""Edge partition invariants — the heart of the communication-free scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.partition import ColoringPartitioner
+from repro.common.rng import RngFactory
+from repro.graph.coo import COOGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.triangles import count_triangles
+
+from conftest import graph_strategy
+
+
+def make_partitioner(c: int, seed: int = 0) -> ColoringPartitioner:
+    return ColoringPartitioner(c, RngFactory(seed).stream("c"))
+
+
+class TestAssignment:
+    def test_total_routed_is_c_times_m(self, small_graph):
+        for c in (1, 2, 5):
+            part = make_partitioner(c).assign(small_graph)
+            assert part.total_routed == c * small_graph.num_edges
+
+    def test_no_duplicate_edges_within_dpu(self, small_graph):
+        part = make_partitioner(4).assign(small_graph)
+        n = small_graph.num_nodes
+        for src, dst in part.per_dpu:
+            keys = np.minimum(src, dst) * n + np.maximum(src, dst)
+            assert np.unique(keys).size == keys.size
+
+    def test_empty_graph(self):
+        g = COOGraph.from_edges([], num_nodes=4)
+        part = make_partitioner(3).assign(g)
+        assert part.total_routed == 0
+        assert len(part.per_dpu) == 10
+
+    def test_counts_column_matches_arrays(self, small_graph):
+        part = make_partitioner(3).assign(small_graph)
+        for count, (src, _) in zip(part.counts.tolist(), part.per_dpu):
+            assert count == src.size
+
+    def test_edges_land_on_compatible_dpus_only(self, small_graph):
+        p = make_partitioner(4)
+        part = p.assign(small_graph)
+        cu_all = p.node_colors(np.arange(small_graph.num_nodes))
+        for dpu, (src, dst) in enumerate(part.per_dpu):
+            triplet = list(p.table.triplet_of(dpu))
+            for a, b in zip(cu_all[src].tolist(), cu_all[dst].tolist()):
+                t = triplet.copy()
+                t.remove(a)
+                assert b in t  # pair {a, b} is a sub-multiset of the triplet
+
+    def test_load_classes_follow_n_3n_6n(self):
+        """Sec. 3.1: expected loads are N (mono), 3N (two-color), 6N (three-color)."""
+        rngs = RngFactory(5)
+        g = erdos_renyi(3000, 60_000, rngs.stream("g")).canonicalize()
+        p = make_partitioner(4, seed=2)
+        part = p.assign(g)
+        kind = p.table.kind
+        mean1 = part.counts[kind == 1].mean()
+        mean2 = part.counts[kind == 2].mean()
+        mean3 = part.counts[kind == 3].mean()
+        assert mean2 / mean1 == pytest.approx(3.0, rel=0.2)
+        assert mean3 / mean1 == pytest.approx(6.0, rel=0.2)
+
+    def test_expected_max_edges_formula(self, small_graph):
+        p = make_partitioner(4)
+        assert p.expected_max_edges_per_dpu(small_graph.num_edges) == pytest.approx(
+            6 * small_graph.num_edges / 16
+        )
+
+
+class TestCountingInvariant:
+    """Summed per-core counts + mono correction == exact triangle count."""
+
+    @pytest.mark.parametrize("c", [1, 2, 3, 5, 8])
+    def test_er_graphs(self, c, rngs):
+        g = erdos_renyi(60, 300, rngs.stream("g", c)).canonicalize()
+        self._check(g, c, seed=c)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        g=graph_strategy(max_nodes=20, max_edges=70),
+        c=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_property(self, g, c, seed):
+        self._check(g, c, seed)
+
+    @staticmethod
+    def _check(g: COOGraph, c: int, seed: int) -> None:
+        truth = count_triangles(g)
+        p = make_partitioner(c, seed=seed)
+        part = p.assign(g)
+        counts = np.array(
+            [
+                count_triangles(COOGraph(src.copy(), dst.copy(), g.num_nodes))
+                for src, dst in part.per_dpu
+            ],
+            dtype=np.float64,
+        )
+        mono = p.mono_mask()
+        total = counts.sum() - (c - 1) * counts[mono].sum()
+        assert total == truth
+
+    def test_mono_dpus_count_only_their_color(self, rngs):
+        """A single-color core's subgraph is monochromatic by construction."""
+        g = erdos_renyi(50, 260, rngs.stream("m")).canonicalize()
+        p = make_partitioner(3, seed=9)
+        part = p.assign(g)
+        for dpu in np.nonzero(p.mono_mask())[0]:
+            color = p.table.triplet_of(int(dpu))[0]
+            src, dst = part.per_dpu[dpu]
+            assert np.all(p.node_colors(src) == color)
+            assert np.all(p.node_colors(dst) == color)
+
+
+class TestDeterminism:
+    def test_same_seed_same_assignment(self, small_graph):
+        a = make_partitioner(4, seed=1).assign(small_graph)
+        b = make_partitioner(4, seed=1).assign(small_graph)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_different_seed_different_coloring(self, small_graph):
+        a = make_partitioner(4, seed=1).assign(small_graph)
+        b = make_partitioner(4, seed=2).assign(small_graph)
+        assert not np.array_equal(a.counts, b.counts)

@@ -1,0 +1,116 @@
+"""Triplet algebra: counts, LUT correctness, load classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.triplets import TripletTable, colors_for_dpus, num_triplets
+
+
+class TestNumTriplets:
+    @pytest.mark.parametrize(
+        "c,expected", [(1, 1), (2, 4), (3, 10), (4, 20), (23, 2300)]
+    )
+    def test_binomial_formula(self, c, expected):
+        assert num_triplets(c) == expected
+
+    def test_paper_configuration(self):
+        """The paper's 2560-DPU system supports at most 23 colors (2300 DPUs)."""
+        assert colors_for_dpus(2560) == 23
+
+    def test_colors_for_one_dpu(self):
+        assert colors_for_dpus(1) == 1
+
+    def test_colors_for_dpus_is_tight(self):
+        for max_dpus in (1, 5, 20, 100, 2560):
+            c = colors_for_dpus(max_dpus)
+            assert num_triplets(c) <= max_dpus
+            assert num_triplets(c + 1) > max_dpus
+
+
+class TestTableStructure:
+    @pytest.mark.parametrize("c", [1, 2, 3, 5, 8])
+    def test_enumeration_count(self, c):
+        table = TripletTable.build(c)
+        assert table.num_dpus == num_triplets(c)
+
+    def test_rows_sorted_nondecreasing(self):
+        table = TripletTable.build(5)
+        assert np.all(table.triplets[:, 0] <= table.triplets[:, 1])
+        assert np.all(table.triplets[:, 1] <= table.triplets[:, 2])
+
+    def test_rows_unique(self):
+        table = TripletTable.build(6)
+        seen = {tuple(r) for r in table.triplets.tolist()}
+        assert len(seen) == table.num_dpus
+
+    @pytest.mark.parametrize("c", [2, 4, 7])
+    def test_load_class_counts(self, c):
+        """Sec. 3.1: C mono, C(C-1) two-color, binom(C,3) three-color triplets."""
+        counts = TripletTable.build(c).load_class_counts()
+        assert counts.get(1, 0) == c
+        assert counts.get(2, 0) == c * (c - 1)
+        expected3 = c * (c - 1) * (c - 2) // 6
+        assert counts.get(3, 0) == expected3
+
+    def test_mono_mask(self):
+        table = TripletTable.build(4)
+        mono = table.mono_mask()
+        assert mono.sum() == 4
+        for i in np.nonzero(mono)[0]:
+            t = table.triplet_of(int(i))
+            assert t[0] == t[1] == t[2]
+
+
+class TestLut:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        c=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_lut_order_invariant(self, c, data):
+        table = TripletTable.build(c)
+        i = data.draw(st.integers(min_value=0, max_value=c - 1))
+        j = data.draw(st.integers(min_value=0, max_value=c - 1))
+        k = data.draw(st.integers(min_value=0, max_value=c - 1))
+        ids = {table.lut[p] for p in [(i, j, k), (k, j, i), (j, i, k), (k, i, j)]}
+        assert len(ids) == 1
+
+    def test_lut_matches_enumeration(self):
+        table = TripletTable.build(5)
+        for idx, row in enumerate(table.triplets.tolist()):
+            assert table.lut[tuple(row)] == idx
+
+    def test_lut_complete(self):
+        assert not np.any(TripletTable.build(6).lut < 0)
+
+
+class TestCompatibility:
+    def test_edge_goes_to_exactly_c_dpus(self):
+        table = TripletTable.build(5)
+        for a in range(5):
+            for b in range(5):
+                targets = table.compatible_dpus(a, b)
+                assert np.unique(targets).size == 5
+
+    def test_mono_edge_targets_contain_double_color(self):
+        """An (a, a)-colored edge's targets must all contain color a twice."""
+        c = 4
+        table = TripletTable.build(c)
+        for a in range(c):
+            for dpu in table.compatible_dpus(a, a):
+                row = table.triplets[dpu].tolist()
+                assert row.count(a) >= 2
+
+    def test_bicolor_edge_targets_contain_both(self):
+        c = 5
+        table = TripletTable.build(c)
+        for dpu in table.compatible_dpus(1, 3):
+            row = table.triplets[dpu].tolist()
+            assert 1 in row and 3 in row
+
+    def test_edge_multiplicity(self):
+        assert TripletTable.build(7).edge_multiplicity() == 7

@@ -1,0 +1,101 @@
+"""Universal color hash (paper Sec. 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.hashing import MERSENNE_PRIME_61, ColorHash
+from repro.common.rng import RngFactory
+
+
+def make_hash(num_colors: int, seed: int = 0) -> ColorHash:
+    return ColorHash.random(num_colors, RngFactory(seed).stream("h"))
+
+
+class TestConstruction:
+    def test_mersenne_prime_value(self):
+        assert MERSENNE_PRIME_61 == 2**61 - 1
+
+    def test_rejects_zero_colors(self):
+        with pytest.raises(ConfigurationError):
+            ColorHash(a=1, b=0, num_colors=0)
+
+    def test_rejects_a_zero(self):
+        with pytest.raises(ConfigurationError):
+            ColorHash(a=0, b=0, num_colors=3)
+
+    def test_rejects_b_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ColorHash(a=1, b=MERSENNE_PRIME_61, num_colors=3)
+
+    def test_random_draws_in_range(self):
+        h = make_hash(5)
+        assert 1 <= h.a < h.p
+        assert 0 <= h.b < h.p
+
+
+class TestColorValues:
+    def test_output_range_scalar(self):
+        h = make_hash(7)
+        for node in range(200):
+            assert 0 <= h.color(node) < 7
+
+    def test_output_range_vector(self):
+        h = make_hash(7)
+        colors = h.color_array(np.arange(5000))
+        assert colors.min() >= 0 and colors.max() < 7
+
+    def test_single_color_everything_zero(self):
+        h = make_hash(1)
+        assert np.all(h.color_array(np.arange(1000)) == 0)
+
+    def test_deterministic(self):
+        h = make_hash(5)
+        np.testing.assert_array_equal(
+            h.color_array(np.arange(100)), h.color_array(np.arange(100))
+        )
+
+    def test_roughly_uniform(self):
+        """Counts per color over many nodes should be near-uniform."""
+        h = make_hash(8, seed=3)
+        colors = h.color_array(np.arange(80_000))
+        counts = np.bincount(colors, minlength=8)
+        assert counts.min() > 0.8 * 80_000 / 8
+        assert counts.max() < 1.2 * 80_000 / 8
+
+    def test_callable_alias(self):
+        h = make_hash(4)
+        np.testing.assert_array_equal(h(np.arange(32)), h.color_array(np.arange(32)))
+
+    def test_rejects_ids_above_modulus(self):
+        h = make_hash(4)
+        with pytest.raises(ConfigurationError):
+            h.color_array(np.array([h.p + 1], dtype=np.uint64))
+
+
+class TestScalarVectorAgreement:
+    """The vectorized Mersenne-fold arithmetic must match exact integer math."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(min_value=1, max_value=MERSENNE_PRIME_61 - 1),
+        b=st.integers(min_value=0, max_value=MERSENNE_PRIME_61 - 1),
+        c=st.integers(min_value=1, max_value=64),
+        nodes=st.lists(st.integers(min_value=0, max_value=2**48), min_size=1, max_size=30),
+    )
+    def test_matches_python_ints(self, a, b, c, nodes):
+        h = ColorHash(a=a, b=b, num_colors=c)
+        vec = h.color_array(np.array(nodes, dtype=np.uint64))
+        scalar = np.array([h.color(n) for n in nodes])
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_large_node_ids(self):
+        h = make_hash(13, seed=9)
+        nodes = np.array([2**40, 2**48, 2**55, 2**60], dtype=np.uint64)
+        vec = h.color_array(nodes)
+        scalar = np.array([h.color(int(n)) for n in nodes])
+        np.testing.assert_array_equal(vec, scalar)

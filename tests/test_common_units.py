@@ -1,0 +1,67 @@
+"""Unit-formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GiB, KiB, MiB, fmt_bytes, fmt_rate, fmt_time
+
+
+class TestConstants:
+    def test_binary_sizes(self):
+        assert KiB == 1024
+        assert MiB == 1024 * 1024
+        assert GiB == 1024**3
+
+    def test_upmem_mram_size(self):
+        # The constant used throughout: a 64-MB MRAM bank.
+        assert 64 * MiB == 67108864
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(64 * KiB) == "64.0 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(64 * MiB) == "64.0 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(2 * GiB) == "2.0 GiB"
+
+    def test_fractional(self):
+        assert fmt_bytes(1536) == "1.5 KiB"
+
+
+class TestFmtTime:
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.500 s"
+
+    def test_milliseconds(self):
+        assert fmt_time(0.0032) == "3.200 ms"
+
+    def test_microseconds(self):
+        assert fmt_time(45e-6) == "45.000 us"
+
+    def test_nanoseconds(self):
+        assert fmt_time(12e-9) == "12.0 ns"
+
+
+class TestFmtRate:
+    def test_zero_time_is_infinite(self):
+        assert fmt_rate(100, 0.0) == "inf edges/s"
+
+    def test_mega(self):
+        assert fmt_rate(2_000_000, 1.0) == "2.0 Medges/s"
+
+    def test_kilo_with_unit(self):
+        assert fmt_rate(1e6, 2.0, unit="ops") == "500.0 Kops/s"
+
+    def test_small(self):
+        assert fmt_rate(10, 1.0) == "10.0 edges/s"
+
+    @pytest.mark.parametrize("count,sec", [(1e3, 1), (1e6, 1), (1e9, 1)])
+    def test_always_has_unit_suffix(self, count, sec):
+        assert fmt_rate(count, sec).endswith("edges/s")

@@ -1,0 +1,63 @@
+"""Batched CPU->PIM transfers (host batch-buffer model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PimTriangleCounter
+from repro.common.errors import ConfigurationError
+from repro.core.host import PimTcOptions
+from repro.graph.triangles import count_triangles
+
+
+class TestValidation:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            PimTcOptions(transfer_batch_edges=0)
+
+    def test_none_is_default(self):
+        assert PimTcOptions().transfer_batch_edges is None
+
+
+class TestBatchedTransfers:
+    def test_count_unchanged(self, small_graph):
+        truth = count_triangles(small_graph)
+        bulk = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        batched = (
+            PimTriangleCounter(num_colors=3, seed=1)
+            .with_options(transfer_batch_edges=16)
+            .count(small_graph)
+        )
+        assert bulk.count == batched.count == truth
+
+    def test_smaller_batches_cost_more_transfer_time(self, small_graph):
+        def sample_time(batch):
+            counter = PimTriangleCounter(num_colors=3, seed=1).with_options(
+                transfer_batch_edges=batch
+            )
+            return counter.count(small_graph).sample_creation_seconds
+
+        times = [sample_time(b) for b in (8, 64, 10**6)]
+        assert times[0] > times[1] > times[2] * 0.99
+
+    def test_huge_batch_equals_bulk(self, small_graph):
+        bulk = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        one_round = (
+            PimTriangleCounter(num_colors=3, seed=1)
+            .with_options(transfer_batch_edges=10**9)
+            .count(small_graph)
+        )
+        assert one_round.sample_creation_seconds == pytest.approx(
+            bulk.sample_creation_seconds
+        )
+
+    def test_count_phase_unaffected(self, small_graph):
+        bulk = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        batched = (
+            PimTriangleCounter(num_colors=3, seed=1)
+            .with_options(transfer_batch_edges=16)
+            .count(small_graph)
+        )
+        assert batched.triangle_count_seconds == pytest.approx(
+            bulk.triangle_count_seconds
+        )

@@ -1,0 +1,111 @@
+"""Dynamic PIM counter: incremental correctness and time accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.dynamic import DynamicPimCounter
+from repro.graph.datasets import get_dataset
+from repro.graph.generators import erdos_renyi
+from repro.graph.triangles import count_triangles
+
+
+class TestValidation:
+    def test_rejects_zero_colors(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPimCounter(10, num_colors=0)
+
+    def test_mg_params_must_pair(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPimCounter(10, num_colors=2, misra_gries_k=8)
+
+
+class TestIncrementalCorrectness:
+    @pytest.mark.parametrize("colors", [1, 2, 4])
+    def test_final_count_matches_oracle(self, small_graph, colors):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=colors, seed=2)
+        for batch in small_graph.split_batches(5):
+            dyn.apply_update(batch)
+        assert dyn.triangles == count_triangles(small_graph)
+
+    def test_every_round_matches_prefix_count(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=3, seed=1)
+        batches = small_graph.split_batches(4)
+        cumulative = None
+        for batch in batches:
+            cumulative = batch if cumulative is None else cumulative.concat(batch)
+            result = dyn.apply_update(batch)
+            assert result.triangles_total == count_triangles(cumulative)
+
+    def test_added_triangles_sum_to_total(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=5)
+        added = [dyn.apply_update(b).triangles_added for b in small_graph.split_batches(6)]
+        assert sum(added) == count_triangles(small_graph)
+
+    def test_with_misra_gries_still_exact(self):
+        g = get_dataset("wikipedia", "tiny")
+        dyn = DynamicPimCounter(
+            g.num_nodes, num_colors=3, seed=2, misra_gries_k=128, misra_gries_t=4
+        )
+        for batch in g.split_batches(4):
+            dyn.apply_update(batch)
+        assert dyn.triangles == count_triangles(g)
+
+    def test_single_batch_equals_static(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=3, seed=0)
+        dyn.apply_update(small_graph)
+        assert dyn.triangles == count_triangles(small_graph)
+
+
+class TestTimeAccounting:
+    def test_setup_excluded_from_rounds(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=1)
+        assert dyn.setup_seconds > 0
+        assert dyn.cumulative_seconds == 0.0
+        result = dyn.apply_update(small_graph.split_batches(2)[0])
+        assert result.cumulative_seconds == pytest.approx(result.round_seconds)
+
+    def test_cumulative_monotone(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=1)
+        last = 0.0
+        for batch in small_graph.split_batches(5):
+            result = dyn.apply_update(batch)
+            assert result.round_seconds > 0
+            assert result.cumulative_seconds > last
+            last = result.cumulative_seconds
+
+    def test_round_metadata(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=1)
+        batches = small_graph.split_batches(3)
+        r1 = dyn.apply_update(batches[0])
+        r2 = dyn.apply_update(batches[1])
+        assert (r1.round_index, r2.round_index) == (1, 2)
+        assert r2.cumulative_edges == batches[0].num_edges + batches[1].num_edges
+        assert "round=2" in repr(r2)
+
+    def test_mg_remap_cheapens_hub_rounds(self):
+        """On the hub graph, Misra-Gries lowers total dynamic time."""
+        g = get_dataset("wikipedia", "tiny")
+        plain = DynamicPimCounter(g.num_nodes, num_colors=3, seed=2)
+        remap = DynamicPimCounter(
+            g.num_nodes, num_colors=3, seed=2, misra_gries_k=256, misra_gries_t=8
+        )
+        for batch in g.split_batches(5):
+            plain.apply_update(batch)
+            remap.apply_update(batch)
+        assert remap.triangles == plain.triangles
+        assert remap.cumulative_seconds < plain.cumulative_seconds
+
+
+class TestEmptyBatches:
+    def test_empty_batch_is_noop_for_count(self, small_graph):
+        from repro.graph.coo import COOGraph
+
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=1)
+        dyn.apply_update(small_graph)
+        before = dyn.triangles
+        result = dyn.apply_update(COOGraph.from_edges([], num_nodes=small_graph.num_nodes))
+        assert result.triangles_added == 0
+        assert dyn.triangles == before

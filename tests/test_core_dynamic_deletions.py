@@ -1,0 +1,92 @@
+"""Fully-dynamic updates: edge deletions (TRIEST-FD-style extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicPimCounter
+from repro.graph.coo import COOGraph
+from repro.graph.triangles import count_triangles
+
+
+@pytest.fixture
+def counter_with_graph(small_graph):
+    dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=3, seed=4)
+    dyn.apply_update(small_graph)
+    return dyn, small_graph
+
+
+class TestDeletions:
+    def test_delete_subset_matches_oracle(self, counter_with_graph, rng):
+        dyn, graph = counter_with_graph
+        drop = rng.choice(graph.num_edges, size=graph.num_edges // 3, replace=False)
+        mask = np.zeros(graph.num_edges, dtype=bool)
+        mask[drop] = True
+        deleted = COOGraph(graph.src[mask], graph.dst[mask], graph.num_nodes)
+        remaining = COOGraph(graph.src[~mask], graph.dst[~mask], graph.num_nodes)
+        result = dyn.apply_deletion(deleted)
+        assert result.op == "delete"
+        assert dyn.triangles == count_triangles(remaining)
+        assert result.triangles_added <= 0
+
+    def test_delete_everything(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        result = dyn.apply_deletion(graph)
+        assert dyn.triangles == 0
+        assert result.cumulative_edges == 0
+
+    def test_delete_missing_edges_is_noop(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        before = dyn.triangles
+        # Edges between nodes that are never adjacent in an ER sample of this
+        # density are unlikely; build guaranteed-absent self-ish pairs.
+        absent = COOGraph.from_edges([(0, 1), (1, 2)], num_nodes=graph.num_nodes)
+        keys = set(graph.edge_keys().tolist())
+        absent_mask = [
+            (min(u, v) * graph.num_nodes + max(u, v)) not in keys
+            for u, v in absent.iter_edges()
+        ]
+        if all(absent_mask):
+            result = dyn.apply_deletion(absent)
+            assert dyn.triangles == before
+            assert result.triangles_added == 0
+
+    def test_reinsertion_after_deletion(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        truth = count_triangles(graph)
+        half = graph.slice(0, graph.num_edges // 2)
+        dyn.apply_deletion(half)
+        dyn.apply_update(half)
+        assert dyn.triangles == truth
+
+    def test_interleaved_sequence_matches_oracle(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=9)
+        batches = small_graph.split_batches(4)
+        dyn.apply_update(batches[0])
+        dyn.apply_update(batches[1])
+        dyn.apply_deletion(batches[0])
+        dyn.apply_update(batches[2])
+        current = batches[1].concat(batches[2])
+        assert dyn.triangles == count_triangles(current)
+        dyn.apply_update(batches[3])
+        dyn.apply_update(batches[0])
+        assert dyn.triangles == count_triangles(small_graph)
+
+    def test_deletion_charges_time(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        before = dyn.cumulative_seconds
+        result = dyn.apply_deletion(graph.slice(0, 20))
+        assert result.round_seconds > 0
+        assert dyn.cumulative_seconds > before
+
+    def test_mono_correction_survives_deletions(self, small_graph):
+        """Deleting must keep the monochromatic bookkeeping consistent for
+        every color count, including C=1."""
+        for c in (1, 3, 5):
+            dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=c, seed=c)
+            dyn.apply_update(small_graph)
+            third = small_graph.slice(0, small_graph.num_edges // 3)
+            dyn.apply_deletion(third)
+            remaining = small_graph.slice(small_graph.num_edges // 3, small_graph.num_edges)
+            assert dyn.triangles == count_triangles(remaining)

@@ -1,0 +1,71 @@
+"""Orient + lexicographic sort (the DPU kernel's preparation pass)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.orient import orient_and_sort
+
+from conftest import edge_list_strategy
+
+
+class TestOrientAndSort:
+    def test_orientation(self):
+        u, v, _ = orient_and_sort(np.array([5, 1]), np.array([2, 7]))
+        assert np.all(u < v)
+
+    def test_lexicographic_order(self):
+        src = np.array([3, 1, 3, 2])
+        dst = np.array([0, 5, 4, 9])
+        u, v, _ = orient_and_sort(src, dst)
+        keys = list(zip(u.tolist(), v.tolist()))
+        assert keys == sorted(keys)
+
+    def test_drops_self_loops(self):
+        u, v, stats = orient_and_sort(np.array([1, 2]), np.array([1, 3]))
+        assert u.size == 1
+        assert stats.edges == 1
+
+    def test_keeps_self_loops_when_asked(self):
+        u, v, _ = orient_and_sort(
+            np.array([1, 2]), np.array([1, 3]), drop_self_loops=False
+        )
+        assert u.size == 2
+
+    def test_empty(self):
+        u, v, stats = orient_and_sort(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert u.size == 0
+        assert stats.sort_steps == 0
+        assert stats.mram_passes == 0
+
+    def test_single_edge_stats(self):
+        _, _, stats = orient_and_sort(np.array([1]), np.array([0]))
+        assert stats.sort_steps == 0
+        assert stats.mram_passes == 1
+
+    def test_sort_steps_nlogn(self):
+        m = 1024
+        src = np.arange(m)
+        dst = np.arange(m) + 1
+        _, _, stats = orient_and_sort(src, dst)
+        assert stats.sort_steps == m * 10  # log2(1024) = 10
+
+    def test_more_passes_for_smaller_wram(self):
+        src = np.arange(10_000)
+        dst = np.arange(10_000) + 1
+        _, _, big = orient_and_sort(src, dst, wram_run_edges=4096)
+        _, _, small = orient_and_sort(src, dst, wram_run_edges=64)
+        assert small.mram_passes > big.mram_passes
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=edge_list_strategy())
+    def test_preserves_undirected_multiset(self, g):
+        u, v, _ = orient_and_sort(g.src, g.dst)
+        n = g.num_nodes
+        got = sorted((u * n + v).tolist())
+        lo = np.minimum(g.src, g.dst)
+        hi = np.maximum(g.src, g.dst)
+        keep = lo != hi
+        expected = sorted((lo[keep] * n + hi[keep]).tolist())
+        assert got == expected

@@ -1,0 +1,97 @@
+"""TcResult derived metrics: phases, throughput, load balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PimTriangleCounter
+from repro.core.result import TcResult
+from repro.pimsim.kernel import SimClock
+
+
+def make_result(**overrides) -> TcResult:
+    clock = SimClock()
+    clock.advance("setup", 0.010)
+    clock.advance("sample_creation", 0.002)
+    clock.advance("triangle_count", 0.003)
+    defaults = dict(
+        estimate=100.0,
+        num_colors=3,
+        num_dpus=10,
+        clock=clock,
+        per_dpu_counts=np.array([10] * 10),
+        reservoir_scales=np.ones(10),
+        edges_routed=np.array([30] * 10),
+        edges_input=100,
+    )
+    defaults.update(overrides)
+    return TcResult(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_count_rounds(self):
+        assert make_result(estimate=99.6).count == 100
+
+    def test_is_exact_flags(self):
+        assert make_result().is_exact
+        assert not make_result(uniform_p=0.5).is_exact
+        assert not make_result(reservoir_scales=np.full(10, 0.5)).is_exact
+
+    def test_phase_accessors(self):
+        r = make_result()
+        assert r.setup_seconds == pytest.approx(0.010)
+        assert r.seconds_without_setup == pytest.approx(0.005)
+        assert r.total_seconds == pytest.approx(0.015)
+
+    def test_throughput(self):
+        r = make_result()
+        assert r.throughput_edges_per_ms() == pytest.approx(100 / 5.0)
+
+    def test_load_balance_even(self):
+        assert make_result().load_balance() == pytest.approx(1.0)
+
+    def test_load_balance_skewed(self):
+        routed = np.array([60] + [20] * 9)
+        r = make_result(edges_routed=routed)
+        assert r.load_balance() == pytest.approx(60 / routed.mean())
+
+    def test_load_balance_empty(self):
+        r = make_result(edges_routed=np.zeros(10, dtype=np.int64))
+        assert r.load_balance() == 1.0
+
+
+class TestLoadBalanceFromPipeline:
+    def test_load_balance_matches_class_structure(self, rngs):
+        """Sec. 3.1: at C=2 the class structure predicts max/mean = 3N / 2N
+        = 1.5 (plus hash noise); and the ratio stays bounded for larger C —
+        the coloring never concentrates the load on a few cores."""
+        from repro.graph.generators import erdos_renyi
+
+        g = erdos_renyi(3000, 60_000, rngs.stream("lb")).canonicalize()
+        lb2 = PimTriangleCounter(num_colors=2, seed=1).count(g).load_balance()
+        assert 1.4 < lb2 < 1.8
+        for c in (4, 8, 12):
+            lb = PimTriangleCounter(num_colors=c, seed=1).count(g).load_balance()
+            assert lb < 3.0
+
+
+class TestToDict:
+    def test_json_serializable(self, small_graph):
+        import json
+
+        result = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        payload = result.to_dict()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["count"] == result.count
+        assert back["is_exact"] is True
+        assert set(back["phases"]) == {"setup", "sample_creation", "triangle_count"}
+        assert back["kernel"]["instructions"] > 0
+
+    def test_meta_tuple_survives(self, small_graph):
+        result = (
+            PimTriangleCounter(num_colors=3, seed=1, misra_gries_k=32, misra_gries_t=2)
+            .count(small_graph)
+        )
+        assert result.to_dict()["meta"]["misra_gries"] == (32, 2)

@@ -1,0 +1,54 @@
+"""Dataset regression guard: the tiny-tier analogues are frozen.
+
+EXPERIMENTS.md's bench numbers and every seeded test in this suite depend on
+the generators producing bit-identical graphs.  These fingerprints fail
+loudly if a generator or a dataset recipe changes — update them (and re-run
+the bench tier for EXPERIMENTS.md) only on purpose.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.graph.datasets import DATASET_NAMES, get_dataset
+
+#: (edges, nodes-in-range, crc32 of the canonical edge bytes) per tiny dataset.
+FINGERPRINTS = {}
+
+
+def fingerprint(name: str) -> tuple[int, int, int]:
+    g = get_dataset(name, "tiny")
+    crc = zlib.crc32(g.src.tobytes()) ^ zlib.crc32(g.dst.tobytes())
+    return (g.num_edges, g.num_nodes, crc)
+
+
+# Regenerate by printing fingerprint(name) for every dataset.
+FINGERPRINTS = {
+    "kronecker23": (2140, 256, 3386527807),
+    "kronecker24": (4805, 512, 2179524573),
+    "v1r": (3145, 1600, 2097703206),
+    "livejournal": (2799, 600, 2949133552),
+    "orkut": (3694, 500, 4076494168),
+    "humanjung": (7186, 300, 3263844000),
+    "wikipedia": (5397, 3000, 1512405597),
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_tiny_dataset_frozen(name):
+    assert fingerprint(name) == FINGERPRINTS[name], (
+        f"{name}: dataset bytes changed — a generator or recipe drifted; "
+        "update FINGERPRINTS and regenerate EXPERIMENTS.md deliberately"
+    )
+
+
+def test_stream_order_is_deterministic():
+    """The shuffled stream order (reservoir/MG-relevant) is part of the freeze."""
+    a = fingerprint("orkut")[2]
+    from repro.graph import datasets
+
+    datasets.clear_cache()
+    b = fingerprint("orkut")[2]
+    assert a == b

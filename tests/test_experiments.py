@@ -1,0 +1,154 @@
+"""Experiment harness: every artifact regenerates at the tiny tier with the
+paper's qualitative shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, Table, experiment_ids, run_experiment
+
+
+class TestTable:
+    def test_add_row_checks_arity(self):
+        t = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = Table(title="t", headers=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_render_contains_everything(self):
+        t = Table(title="My Table", headers=["x"], notes="a note")
+        t.add_row(42)
+        text = t.render()
+        assert "My Table" in text and "42" in text and "a note" in text
+
+    def test_to_dict_json_serializable(self):
+        t = Table(title="t", headers=["a"])
+        t.add_row(1.5)
+        json.dumps(t.to_dict())
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        ids = set(experiment_ids())
+        for required in ("tab1", "tab2", "tab3", "tab4", "fig3", "fig4", "fig5", "fig6", "fig7"):
+            assert required in ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_descriptions_non_empty(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.description and exp.paper_artifact
+
+
+@pytest.mark.parametrize("exp_id", experiment_ids())
+def test_experiment_runs_at_tiny_tier(exp_id):
+    table = run_experiment(exp_id, tier="tiny", seed=0)
+    assert isinstance(table, Table)
+    assert table.rows, f"{exp_id} produced no rows"
+
+
+class TestShapes:
+    """The qualitative claims each artifact must reproduce."""
+
+    def test_tab1_has_all_graphs(self):
+        table = run_experiment("tab1", tier="tiny")
+        assert len(table.rows) == 7
+
+    def test_tab2_high_degree_separation(self):
+        table = run_experiment("tab2", tier="tiny")
+        degs = dict(zip(table.column("Graph"), table.column("Max degree")))
+        assert degs["wikipedia"] > 5 * degs["orkut"]
+
+    def test_fig3_hub_graph_lowest_throughput(self):
+        table = run_experiment("fig3", tier="tiny")
+        tp = dict(zip(table.column("Graph"), table.column("Edges/ms")))
+        assert tp["wikipedia"] == min(tp.values())
+        assert all(table.column("Exact?"))
+
+    def test_fig4_larger_graphs_scale(self):
+        table = run_experiment("fig4", tier="tiny")
+        rows = [r for r in table.rows if r[0] == "kronecker23"]
+        speedups = [r[4] for r in rows]
+        assert speedups[-1] > 1.0  # more cores help the big graph
+        assert all(table.column("Exact?"))
+
+    def test_fig5_mg_helps_hub_graph(self):
+        table = run_experiment("fig5", tier="tiny")
+        wiki = [r for r in table.rows if r[0] == "wikipedia"]
+        base_ms = wiki[0][3]
+        best_ms = min(r[3] for r in wiki[1:])
+        assert best_ms < 0.5 * base_ms
+
+    def test_tab3_error_grows_as_p_shrinks(self):
+        table = run_experiment("tab3", tier="tiny")
+        for row in table.rows:
+            if row[0] in ("kronecker23", "humanjung"):
+                errs = [float(c.rstrip("%")) for c in row[1:5]]
+                assert errs[0] < errs[-1]
+
+    def test_tab4_errors_bounded_at_half_capacity(self):
+        table = run_experiment("tab4", tier="tiny")
+        for row in table.rows:
+            if row[0] == "humanjung":
+                assert float(row[1].rstrip("%")) < 5.0
+
+    def test_fig6_all_exact_and_pim_worst_on_wikipedia(self):
+        """At the tiny tier the fixed overheads mask the GPU-vs-CPU ordering
+        (that shape is checked at the bench tier in EXPERIMENTS.md); what must
+        already hold is exactness everywhere and wikipedia being the PIM
+        implementation's worst case relative to the CPU (paper Sec. 4.6)."""
+        table = run_experiment("fig6", tier="tiny")
+        rows = {r[0]: r for r in table.rows}
+        assert all(table.column("Exact?"))
+        pim_speedups = {name: r[4] for name, r in rows.items()}
+        assert pim_speedups["wikipedia"] <= min(
+            v for k, v in pim_speedups.items() if k != "wikipedia"
+        ) * 2.0
+        # GPU within striking distance of CPU even at toy scale (its fixed
+        # invocation overhead dominates graphs this small).
+        assert rows["kronecker24"][5] > 0.3
+
+    def test_fig7_cpu_grows_fastest(self):
+        table = run_experiment("fig7", tier="tiny")
+        cpu = table.column("CPU cum ms")
+        # CPU cumulative time accelerates (superlinear growth).
+        first_half = cpu[4] - cpu[0]
+        second_half = cpu[9] - cpu[5]
+        assert second_half > first_half
+
+    def test_abl_coloring_parallelism_wins(self):
+        table = run_experiment("abl_coloring", tier="tiny")
+        max_dpu_ms = table.column("Max-DPU ms")
+        assert max_dpu_ms[-1] < max_dpu_ms[0]
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+
+    def test_single_experiment_text(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        out_file = tmp_path / "res.txt"
+        assert main(["tab1", "--tier", "tiny", "--out", str(out_file)]) == 0
+        assert "Table 1" in out_file.read_text()
+
+    def test_json_output(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["tab2", "--tier", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["headers"][0] == "Graph"

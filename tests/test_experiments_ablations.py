@@ -1,0 +1,50 @@
+"""New ablation experiments: kernels, dynamic batches, sensitivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestAblKernels:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("abl_kernels", tier="tiny")
+
+    def test_all_exact(self, table):
+        assert all(table.column("Exact?"))
+
+    def test_merge_beats_probe_everywhere(self, table):
+        """Random MRAM probing pays per-touch DMA latency: merge always wins."""
+        for row in table.rows:
+            assert row[1] < row[2], f"merge should beat probe on {row[0]}"
+
+    def test_mg_wins_on_hub_graphs(self, table):
+        rows = {r[0]: r for r in table.rows}
+        assert rows["wikipedia"][4] == "merge+MG"
+
+
+class TestAblDynamic:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("abl_dynamic", tier="tiny")
+
+    def test_all_exact(self, table):
+        assert all(table.column("Exact?"))
+
+    def test_pim_per_round_cost_amortizes(self, table):
+        per_round = table.column("PIM ms/round")
+        assert per_round[-1] < per_round[0]
+
+    def test_pim_speedup_improves_with_granularity(self, table):
+        """More update rounds punish the CPU's repeated conversion harder."""
+        speedups = table.column("PIM speedup")
+        assert speedups[-1] > speedups[0]
+
+
+class TestAblSensitivity:
+    def test_shape_holds_under_all_perturbations(self):
+        table = run_experiment("abl_sensitivity", tier="tiny")
+        assert all(table.column("Holds?"))
+        assert len(table.rows) == 11

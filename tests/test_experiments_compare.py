@@ -1,0 +1,81 @@
+"""Result-diff tool (repro.experiments.compare)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.compare import compare_tables, main
+
+
+def payload(rows, headers=("Graph", "value")):
+    return {"title": "t", "headers": list(headers), "rows": [list(r) for r in rows]}
+
+
+class TestCompareTables:
+    def test_identical(self):
+        p = payload([["a", 1.0], ["b", 2.0]])
+        assert compare_tables(p, p) == []
+
+    def test_numeric_drift_detected(self):
+        a = payload([["a", 1.0]])
+        b = payload([["a", 1.2]])
+        drifts = compare_tables(a, b)
+        assert len(drifts) == 1
+        assert "value" in drifts[0].location
+
+    def test_tolerance_absorbs_small_drift(self):
+        a = payload([["a", 100.0]])
+        b = payload([["a", 104.0]])
+        assert compare_tables(a, b, tolerance=0.05) == []
+        assert len(compare_tables(a, b, tolerance=0.01)) == 1
+
+    def test_string_cells_compared_exactly(self):
+        a = payload([["a", 1.0]])
+        b = payload([["z", 1.0]])
+        assert len(compare_tables(a, b, tolerance=1.0)) == 1
+
+    def test_bool_cells_not_treated_as_numbers(self):
+        a = payload([[True, 1.0]])
+        b = payload([[False, 1.0]])
+        assert len(compare_tables(a, b, tolerance=1.0)) == 1
+
+    def test_row_count_mismatch(self):
+        a = payload([["a", 1.0]])
+        b = payload([["a", 1.0], ["b", 2.0]])
+        drifts = compare_tables(a, b)
+        assert drifts[0].location == "row count"
+
+    def test_header_mismatch_short_circuits(self):
+        a = payload([["a", 1.0]])
+        b = payload([["a", 1.0]], headers=("Graph", "other"))
+        assert compare_tables(a, b)[0].location == "headers"
+
+
+class TestCli:
+    def test_identical_files(self, tmp_path, capsys):
+        p = payload([["a", 1.0]])
+        f1 = tmp_path / "a.json"
+        f2 = tmp_path / "b.json"
+        f1.write_text(json.dumps(p))
+        f2.write_text(json.dumps(p))
+        assert main([str(f1), str(f2)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero(self, tmp_path, capsys):
+        f1 = tmp_path / "a.json"
+        f2 = tmp_path / "b.json"
+        f1.write_text(json.dumps(payload([["a", 1.0]])))
+        f2.write_text(json.dumps(payload([["a", 9.0]])))
+        assert main([str(f1), str(f2)]) == 1
+        assert "drift" in capsys.readouterr().out
+
+    def test_round_trip_with_runner(self, tmp_path):
+        """The runner's --json output feeds compare directly."""
+        from repro.experiments.runner import main as runner_main
+
+        out = tmp_path / "tab2.json"
+        assert runner_main(["tab2", "--tier", "tiny", "--json", "--out", str(out)]) == 0
+        payload_dict = json.loads(out.read_text())
+        assert compare_tables(payload_dict, payload_dict) == []

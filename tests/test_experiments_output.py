@@ -1,0 +1,115 @@
+"""Table output formats (markdown, charts) and the tasklet ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.tables import Table
+
+
+class TestMarkdown:
+    def test_structure(self):
+        t = Table(title="T", headers=["a", "b"], notes="note")
+        t.add_row(1, 2.5)
+        md = t.to_markdown()
+        assert md.startswith("### T")
+        assert "| a | b |" in md
+        assert "| 1 | 2.5 |" in md
+        assert "_note_" in md
+
+    def test_runner_markdown_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["tab1", "--tier", "tiny", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### Table 1")
+
+
+class TestCharts:
+    def test_bar_lengths_scale(self):
+        t = Table(title="T", headers=["name", "v"])
+        t.add_row("big", 100.0)
+        t.add_row("small", 25.0)
+        chart = t.render_chart("v", width=40)
+        lines = chart.splitlines()[1:]
+        big_bar = lines[0].count("#")
+        small_bar = lines[1].count("#")
+        assert big_bar == 40
+        assert small_bar == 10
+
+    def test_log_scale_compresses(self):
+        t = Table(title="T", headers=["name", "v"])
+        t.add_row("big", 10000.0)
+        t.add_row("small", 1.0)
+        linear = t.render_chart("v", width=40)
+        log = t.render_chart("v", width=40, log_scale=True)
+        small_linear = linear.splitlines()[2].count("#")
+        small_log = log.splitlines()[2].count("#")
+        assert small_log > small_linear
+
+    def test_empty_table(self):
+        t = Table(title="T", headers=["name", "v"])
+        assert "(no rows)" in t.render_chart("v")
+
+    def test_zero_values_get_no_bar(self):
+        t = Table(title="T", headers=["name", "v"])
+        t.add_row("zero", 0.0)
+        t.add_row("one", 1.0)
+        chart = t.render_chart("v")
+        assert chart.splitlines()[1].count("#") == 0
+
+    def test_runner_chart_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig3", "--tier", "tiny", "--chart"]) == 0
+        assert "#" in capsys.readouterr().out
+
+
+class TestAblTasklets:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("abl_tasklets", tier="tiny")
+
+    def test_all_exact(self, table):
+        assert all(table.column("Exact?"))
+
+    def test_near_linear_up_to_saturation(self, table):
+        rows = {r[0]: r for r in table.rows}
+        assert rows[8][2] > 4.0  # 8 tasklets at least 4x one tasklet
+
+    def test_flat_beyond_saturation(self, table):
+        rows = {r[0]: r for r in table.rows}
+        # 16 tasklets buy < 15% over 11 (pipeline already full).
+        assert rows[16][2] / rows[11][2] < 1.15
+
+
+class TestAblHost:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("abl_host", tier="tiny")
+
+    def test_all_exact(self, table):
+        assert all(table.column("Exact?"))
+
+    def test_sample_time_monotone_nonincreasing(self, table):
+        samples = table.column("Sample ms")
+        assert all(b <= a + 1e-9 for a, b in zip(samples, samples[1:]))
+
+    def test_count_phase_thread_independent(self, table):
+        counts = table.column("Count ms")
+        assert max(counts) - min(counts) < 1e-6
+
+
+class TestSystemPresets:
+    def test_devkit_shape(self):
+        from repro.pimsim import DEVKIT_SYSTEM
+
+        assert DEVKIT_SYSTEM.total_dpus == 128
+
+    def test_devkit_supports_eight_colors(self):
+        from repro import PimTriangleCounter
+        from repro.pimsim import DEVKIT_SYSTEM
+
+        counter = PimTriangleCounter(num_colors=8, system_config=DEVKIT_SYSTEM)
+        assert counter.max_colors() == 8

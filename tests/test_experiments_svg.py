@@ -1,0 +1,171 @@
+"""SVG figure output: well-formedness, geometry sanity, palette discipline."""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.svg import (
+    PALETTE,
+    bar_chart_svg,
+    figure_spec_for,
+    line_chart_svg,
+    render_figure,
+)
+from repro.experiments.tables import Table
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+@pytest.fixture
+def bar_table() -> Table:
+    t = Table(title="Demo bars", headers=["Graph", "value"])
+    for name, v in [("a", 10.0), ("b", 250.0), ("c", 3.0)]:
+        t.add_row(name, v)
+    return t
+
+
+@pytest.fixture
+def line_table() -> Table:
+    t = Table(title="Demo lines", headers=["Round", "cpu", "pim"])
+    for x in range(1, 6):
+        t.add_row(x, float(x * x), float(2 * x))
+    return t
+
+
+class TestBarChart:
+    def test_well_formed(self, bar_table):
+        root = parse(bar_chart_svg(bar_table, "value"))
+        assert root.tag == f"{NS}svg"
+
+    def test_one_data_rect_per_row(self, bar_table):
+        root = parse(bar_chart_svg(bar_table, "value"))
+        rects = [
+            r for r in root.iter(f"{NS}rect") if r.get("fill") in PALETTE
+        ]
+        assert len(rects) == 3
+
+    def test_bars_inside_canvas(self, bar_table):
+        svg = bar_chart_svg(bar_table, "value")
+        root = parse(svg)
+        width = float(root.get("width"))
+        height = float(root.get("height"))
+        for r in root.iter(f"{NS}rect"):
+            x, y = float(r.get("x", 0)), float(r.get("y", 0))
+            assert -1 <= x <= width
+            assert -1 <= y <= height
+
+    def test_tallest_value_longest_bar(self, bar_table):
+        root = parse(bar_chart_svg(bar_table, "value"))
+        data = [
+            (float(r.get("height")), float(r.get("y")))
+            for r in root.iter(f"{NS}rect")
+            if r.get("fill") in PALETTE
+        ]
+        heights = [h for h, _ in data]
+        assert max(heights) == heights[1]  # value 250 is row 2
+
+    def test_log_scale_subtitle(self, bar_table):
+        svg = bar_chart_svg(bar_table, "value", log_scale=True)
+        assert "log scale" in svg
+
+    def test_single_series_has_no_legend_circles(self, bar_table):
+        root = parse(bar_chart_svg(bar_table, "value"))
+        assert not list(root.iter(f"{NS}circle"))
+
+    def test_every_bar_direct_labeled(self, bar_table):
+        svg = bar_chart_svg(bar_table, "value")
+        assert "250" in svg and "10" in svg
+
+
+class TestLineChart:
+    def test_multi_column_series(self, line_table):
+        root = parse(line_chart_svg(line_table, "Round", y_columns=["cpu", "pim"]))
+        lines = list(root.iter(f"{NS}polyline"))
+        assert len(lines) == 2
+        assert lines[0].get("stroke") == PALETTE[0]
+        assert lines[1].get("stroke") == PALETTE[1]
+
+    def test_legend_present_for_two_series(self, line_table):
+        svg = line_chart_svg(line_table, "Round", y_columns=["cpu", "pim"])
+        root = parse(svg)
+        # Legend swatches + data markers are circles; >= 2 swatches exist.
+        circles = list(root.iter(f"{NS}circle"))
+        assert len(circles) >= 2 + 2 * 5
+
+    def test_grouped_series_mode(self):
+        t = Table(title="g", headers=["Graph", "Colors", "ms"])
+        for g in ("x", "y"):
+            for c in (2, 4):
+                t.add_row(g, c, float(c))
+        root = parse(
+            line_chart_svg(t, "Colors", series_column="Graph", y_column="ms")
+        )
+        assert len(list(root.iter(f"{NS}polyline"))) == 2
+
+    def test_requires_series_spec(self, line_table):
+        with pytest.raises(ValueError):
+            line_chart_svg(line_table, "Round")
+
+    def test_too_many_series_rejected(self):
+        t = Table(title="t", headers=["x"] + [f"s{i}" for i in range(9)])
+        t.add_row(*([1.0] * 10))
+        t.add_row(*([2.0] * 10))
+        with pytest.raises(ValueError):
+            line_chart_svg(t, "x", y_columns=[f"s{i}" for i in range(9)])
+
+    def test_points_inside_canvas(self, line_table):
+        root = parse(line_chart_svg(line_table, "Round", y_columns=["cpu", "pim"]))
+        width = float(root.get("width"))
+        for poly in root.iter(f"{NS}polyline"):
+            for pair in poly.get("points").split():
+                x, y = (float(v) for v in pair.split(","))
+                assert 0 <= x <= width
+                assert 0 <= y <= float(root.get("height"))
+
+
+class TestRenderFigure:
+    @pytest.mark.parametrize("exp_id", ["fig3", "fig4", "fig7"])
+    def test_paper_figures_render(self, exp_id):
+        table = run_experiment(exp_id, tier="tiny")
+        svg = render_figure(exp_id, table)
+        assert svg is not None
+        parse(svg)  # well-formed
+
+    def test_unspecified_experiment_returns_none(self):
+        table = run_experiment("tab3", tier="tiny")
+        assert render_figure("tab3", table) is None
+
+    def test_spec_lookup(self):
+        assert figure_spec_for("fig7")[0] == "line"
+        assert figure_spec_for("nope") is None
+
+    def test_runner_svg_flag(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig3", "--tier", "tiny", "--svg", str(tmp_path)]) == 0
+        out_file = tmp_path / "fig3.svg"
+        assert out_file.exists()
+        parse(out_file.read_text())
+
+
+class TestNoLabelCollisions:
+    def test_bar_labels_spaced(self):
+        """Seven dataset bars at default width leave >= 60px per label slot."""
+        table = run_experiment("tab2", tier="tiny")
+        svg = bar_chart_svg(table, "Max degree", log_scale=True)
+        root = parse(svg)
+        xs = sorted(
+            float(t.get("x"))
+            for t in root.iter(f"{NS}text")
+            if t.get("text-anchor") == "middle" and not t.text[0].isdigit()
+        )
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        assert min(gaps) >= 60

@@ -1,0 +1,73 @@
+"""Configuration model + power-law degree sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.graph.generators import configuration_model, powerlaw_degree_sequence
+from repro.graph.stats import degree_stats
+
+
+class TestPowerlawSequence:
+    def test_even_sum(self, rng):
+        deg = powerlaw_degree_sequence(501, 2.5, rng)
+        assert int(deg.sum()) % 2 == 0
+
+    def test_bounds_respected(self, rng):
+        deg = powerlaw_degree_sequence(1000, 2.2, rng, min_degree=2, max_degree=50)
+        assert deg.min() >= 2
+        assert deg.max() <= 50
+
+    def test_heavier_tail_with_smaller_exponent(self, rng):
+        light = powerlaw_degree_sequence(5000, 3.5, rng, max_degree=400)
+        heavy = powerlaw_degree_sequence(5000, 1.8, rng, max_degree=400)
+        assert heavy.mean() > light.mean()
+
+    def test_rejects_exponent_below_one(self, rng):
+        with pytest.raises(ConfigurationError):
+            powerlaw_degree_sequence(10, 0.9, rng)
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            powerlaw_degree_sequence(10, 2.0, rng, min_degree=5, max_degree=3)
+
+
+class TestConfigurationModel:
+    def test_stub_count_preserved_raw(self, rng):
+        deg = np.array([3, 3, 2, 2, 2])
+        g = configuration_model(deg, rng)
+        assert g.num_edges == int(deg.sum()) // 2  # raw stubs, pre-erasure
+
+    def test_degrees_approximately_prescribed(self, rng):
+        deg = powerlaw_degree_sequence(2000, 2.5, rng, min_degree=2, max_degree=80)
+        g = configuration_model(deg, rng).canonicalize()
+        realized = g.degrees()
+        # Erasure only removes; heavy nodes dip a little, light nodes match.
+        assert np.all(realized <= deg)
+        assert realized.sum() >= 0.9 * deg.sum()
+
+    def test_prescribed_hub_realized(self, rng):
+        """The tool's purpose: build a graph with an exact planned hub ratio."""
+        deg = np.full(3000, 4, dtype=np.int64)
+        deg[0] = 1200  # one node with 300x the typical degree
+        if deg.sum() % 2:
+            deg[1] += 1
+        g = configuration_model(deg, rng).canonicalize()
+        max_deg, avg_deg = degree_stats(g)
+        assert max_deg > 150 * 4  # hub survives erasure at >= half strength
+
+    def test_rejects_odd_sum(self, rng):
+        with pytest.raises(ConfigurationError):
+            configuration_model(np.array([1, 1, 1]), rng)
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ConfigurationError):
+            configuration_model(np.array([2, -2]), rng)
+
+    def test_deterministic(self, rngs):
+        deg = np.array([2, 2, 2, 2])
+        a = configuration_model(deg, rngs.stream("c"))
+        b = configuration_model(deg, rngs.stream("c"))
+        np.testing.assert_array_equal(a.src, b.src)

@@ -1,0 +1,81 @@
+"""CSR structure and COO->CSR conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.common.errors import GraphFormatError
+from repro.graph.coo import COOGraph
+from repro.graph.csr import CSRGraph, coo_to_csr, forward_csr
+
+from conftest import graph_strategy
+
+
+class TestCsrGraph:
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=np.array([0, 1]), indices=np.array([1]), num_nodes=3)
+
+    def test_rejects_inconsistent_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(indptr=np.array([0, 5]), indices=np.array([1]), num_nodes=1)
+
+    def test_neighbors_and_degree(self, triangle_graph):
+        csr, _ = coo_to_csr(triangle_graph)
+        assert csr.neighbors(2).tolist() == [0, 1, 3]
+        assert csr.degree(2) == 3
+        assert csr.degrees().tolist() == [2, 2, 3, 1]
+
+    def test_nbytes(self, triangle_graph):
+        csr, _ = coo_to_csr(triangle_graph)
+        assert csr.nbytes() == csr.indptr.nbytes + csr.indices.nbytes
+
+
+class TestCooToCsr:
+    def test_symmetrized_entry_count(self, small_graph):
+        csr, _ = coo_to_csr(small_graph, symmetrize=True)
+        assert csr.num_entries == 2 * small_graph.num_edges
+
+    def test_directed_entry_count(self, small_graph):
+        csr, _ = coo_to_csr(small_graph, symmetrize=False)
+        assert csr.num_entries == small_graph.num_edges
+
+    def test_neighbors_sorted(self, small_graph):
+        csr, _ = coo_to_csr(small_graph)
+        for u in range(csr.num_nodes):
+            nbrs = csr.neighbors(u)
+            assert np.all(np.diff(nbrs) >= 0)
+
+    def test_stats_populated(self, small_graph):
+        _, stats = coo_to_csr(small_graph)
+        assert stats.edges_scanned == 2 * small_graph.num_edges
+        assert stats.bytes_moved > 0
+        assert stats.sort_ops > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=graph_strategy())
+    def test_degrees_match_coo(self, g):
+        csr, _ = coo_to_csr(g, symmetrize=True)
+        np.testing.assert_array_equal(csr.degrees(), g.degrees())
+
+
+class TestForwardCsr:
+    def test_only_forward_edges(self, small_graph):
+        fwd = forward_csr(small_graph)
+        assert fwd.num_entries == small_graph.num_edges
+        for u in range(fwd.num_nodes):
+            nbrs = fwd.neighbors(u)
+            assert np.all(nbrs > u)
+
+    def test_handles_unoriented_input(self):
+        g = COOGraph.from_edges([(2, 0), (1, 0), (1, 1)], num_nodes=3)
+        fwd = forward_csr(g)
+        assert fwd.num_entries == 2  # self-loop dropped
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=graph_strategy())
+    def test_total_forward_degree_is_edge_count(self, g):
+        fwd = forward_csr(g)
+        assert int(fwd.degrees().sum()) == g.num_edges

@@ -1,0 +1,128 @@
+"""Synthetic generators: structural properties of each dataset analogue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.graph.generators import (
+    barabasi_albert,
+    dense_community,
+    erdos_renyi,
+    grid_with_diagonals,
+    hub_graph,
+    rmat,
+    triadic_closure,
+)
+from repro.graph.stats import compute_stats, degree_stats
+from repro.graph.triangles import count_triangles
+
+
+class TestRmat:
+    def test_shape(self, rng):
+        g = rmat(8, 4, rng)
+        assert g.num_nodes == 256
+        assert g.num_edges == 4 * 256
+
+    def test_deterministic(self, rngs):
+        a = rmat(7, 4, rngs.stream("r"))
+        b = rmat(7, 4, rngs.stream("r"))
+        np.testing.assert_array_equal(a.src, b.src)
+
+    def test_power_law_hubs(self, rng):
+        """The canonical RMAT parameters give a hub far above the mean degree."""
+        g = rmat(10, 16, rng).canonicalize()
+        max_deg, avg_deg = degree_stats(g)
+        assert max_deg > 8 * avg_deg
+
+    def test_rejects_bad_probs(self, rng):
+        with pytest.raises(ConfigurationError):
+            rmat(4, 2, rng, a=0.5, b=0.4, c=0.4)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self, rng):
+        g = erdos_renyi(100, 500, rng)
+        assert g.num_edges == 500
+        assert g.is_canonical()
+
+    def test_rejects_impossible_m(self, rng):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(4, 100, rng)
+
+    def test_zero_edges(self, rng):
+        assert erdos_renyi(10, 0, rng).num_edges == 0
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self, rng):
+        g = barabasi_albert(200, 3, rng)
+        assert g.num_edges == (200 - 3) * 3
+
+    def test_heavy_tail(self, rng):
+        g = barabasi_albert(2000, 4, rng).canonicalize()
+        max_deg, avg_deg = degree_stats(g)
+        assert max_deg > 5 * avg_deg
+
+    def test_rejects_attach_ge_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(3, 3, rng)
+
+
+class TestTriadicClosure:
+    def test_increases_clustering(self, rng):
+        base = barabasi_albert(400, 3, rng).canonicalize()
+        closed = triadic_closure(base, 800, rng)
+        gcc_base = compute_stats(base).global_clustering
+        gcc_closed = compute_stats(closed).global_clustering
+        assert gcc_closed > gcc_base
+
+    def test_zero_extra_is_identity(self, rng, small_graph):
+        out = triadic_closure(small_graph, 0, rng)
+        assert out.num_edges == small_graph.num_edges
+
+    def test_stays_canonical(self, rng, small_graph):
+        assert triadic_closure(small_graph, 50, rng).is_canonical()
+
+
+class TestGridWithDiagonals:
+    def test_plain_grid_triangle_free(self, rng):
+        g = grid_with_diagonals(12, 12, 0, rng).canonicalize()
+        assert count_triangles(g) == 0
+
+    def test_diagonals_plant_triangles(self, rng):
+        g = grid_with_diagonals(20, 20, 25, rng).canonicalize()
+        tri = count_triangles(g)
+        assert 25 <= tri <= 60  # one or two unit squares per diagonal
+
+    def test_max_degree_bounded(self, rng):
+        g = grid_with_diagonals(15, 15, 30, rng).canonicalize()
+        max_deg, _ = degree_stats(g)
+        assert max_deg <= 6
+
+
+class TestHubGraph:
+    def test_hub_dominates(self, rng):
+        g = hub_graph(2000, 2000, 2, 900, rng).canonicalize()
+        max_deg, avg_deg = degree_stats(g)
+        assert max_deg >= 800
+        assert max_deg > 50 * avg_deg
+
+    def test_rejects_hub_degree_ge_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            hub_graph(10, 5, 1, 10, rng)
+
+
+class TestDenseCommunity:
+    def test_high_density_and_clustering(self, rng):
+        g = dense_community(300, 60, 0.5, rng).canonicalize()
+        stats = compute_stats(g)
+        assert stats.avg_degree > 20
+        assert stats.global_clustering > 0.3
+
+    def test_max_degree_capped_by_windows(self, rng):
+        g = dense_community(400, 50, 0.5, rng).canonicalize()
+        max_deg, _ = degree_stats(g)
+        # A node sees at most ~2 overlapping windows of 50.
+        assert max_deg < 100

@@ -1,0 +1,69 @@
+"""Edge-list and binary graph IO."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphFormatError
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestReadEdgeList:
+    def test_basic(self):
+        g = read_edge_list(io.StringIO("0 1\n1 2\n"))
+        assert g.num_edges == 2
+        assert g.num_nodes == 3
+
+    def test_comments_and_blanks(self):
+        text = "# comment\n% matrix-market style\n\n0 1\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_extra_fields_ignored(self):
+        g = read_edge_list(io.StringIO("0 1 3.5 1200\n"))
+        assert g.num_edges == 1
+
+    def test_explicit_num_nodes(self):
+        g = read_edge_list(io.StringIO("0 1\n"), num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_rejects_single_field(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edge_list(io.StringIO("42\n"))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.name == "graph"
+
+
+class TestRoundTrips:
+    def test_text_round_trip(self, tmp_path, small_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_graph, path)
+        back = read_edge_list(path, num_nodes=small_graph.num_nodes)
+        np.testing.assert_array_equal(back.src, small_graph.src)
+        np.testing.assert_array_equal(back.dst, small_graph.dst)
+
+    def test_npz_round_trip(self, tmp_path, small_graph):
+        path = tmp_path / "g.npz"
+        save_npz(small_graph, path)
+        back = load_npz(path)
+        np.testing.assert_array_equal(back.src, small_graph.src)
+        np.testing.assert_array_equal(back.dst, small_graph.dst)
+        assert back.num_nodes == small_graph.num_nodes
+        assert back.name == small_graph.name
+
+    def test_write_without_header(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle_graph, path, header=False)
+        assert not path.read_text().startswith("#")

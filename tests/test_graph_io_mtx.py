@@ -1,0 +1,68 @@
+"""Matrix Market reader (SuiteSparse format, the paper's V1r source)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.common.errors import GraphFormatError
+from repro.graph.io import read_matrix_market
+from repro.graph.triangles import count_triangles
+
+MTX_TRIANGLE = """%%MatrixMarket matrix coordinate pattern symmetric
+% a triangle plus a pendant edge
+4 4 4
+1 2
+2 3
+1 3
+3 4
+"""
+
+
+class TestReadMatrixMarket:
+    def test_parses_triangle(self):
+        g = read_matrix_market(io.StringIO(MTX_TRIANGLE))
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert count_triangles(g) == 1
+
+    def test_indices_shifted_to_zero_based(self):
+        g = read_matrix_market(io.StringIO(MTX_TRIANGLE))
+        assert g.src.min() == 0
+
+    def test_values_ignored(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.75\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("% only comments\n"))
+
+    def test_rejects_bad_size_line(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("4 4\n1 2\n"))
+
+    def test_rejects_wrong_entry_count(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("3 3 2\n1 2\n"))
+
+    def test_rejects_zero_based_input(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("3 3 1\n0 2\n"))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("3 3 1\na b\n"))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "v1r_like.mtx"
+        path.write_text(MTX_TRIANGLE)
+        g = read_matrix_market(path)
+        assert g.name == "v1r_like"
+
+    def test_rectangular_uses_max_dim(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 5 1\n1 2\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_nodes == 5

@@ -1,0 +1,65 @@
+"""Graph statistics (Tables 1 and 2 quantities)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.coo import COOGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.stats import compute_stats, degree_stats
+
+
+class TestDegreeStats:
+    def test_triangle_plus_pendant(self, triangle_graph):
+        max_deg, avg_deg = degree_stats(triangle_graph)
+        assert max_deg == 3
+        assert avg_deg == pytest.approx(2 * 4 / 4)
+
+    def test_ignores_isolated_nodes(self):
+        g = COOGraph.from_edges([(0, 1)], num_nodes=100)
+        max_deg, avg_deg = degree_stats(g)
+        assert max_deg == 1
+        assert avg_deg == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert degree_stats(COOGraph.from_edges([], num_nodes=3)) == (0, 0.0)
+
+
+class TestClustering:
+    def test_triangle_graph_value(self, triangle_graph):
+        stats = compute_stats(triangle_graph)
+        # 1 triangle, 5 wedges -> 3/5.
+        assert stats.global_clustering == pytest.approx(0.6)
+
+    def test_complete_graph_is_one(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = COOGraph.from_edges(edges, num_nodes=5)
+        assert compute_stats(g).global_clustering == pytest.approx(1.0)
+
+    def test_triangle_free_is_zero(self):
+        path = COOGraph.from_edges([(0, 1), (1, 2)], num_nodes=3)
+        assert compute_stats(path).global_clustering == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vs_networkx_transitivity(self, rngs, seed):
+        g = erdos_renyi(50, 250, rngs.stream("t", seed)).canonicalize()
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_nodes))
+        G.add_edges_from(g.edges().tolist())
+        assert compute_stats(g).global_clustering == pytest.approx(nx.transitivity(G))
+
+
+class TestComputeStats:
+    def test_rows_have_expected_shape(self, small_graph):
+        stats = compute_stats(small_graph)
+        name, e, v, t = stats.table1_row()
+        assert e == small_graph.num_edges
+        assert v <= small_graph.num_nodes
+        name2, maxd, avgd, gcc = stats.table2_row()
+        assert name2 == name
+        assert maxd >= avgd / 2
+
+    def test_cached_triangles_respected(self, triangle_graph):
+        stats = compute_stats(triangle_graph, triangles=1)
+        assert stats.triangles == 1

@@ -1,0 +1,101 @@
+"""Exact triangle oracle vs independent references (networkx, dense, sets)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.reference import count_triangles_dense, count_triangles_sets
+from repro.graph.coo import COOGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.triangles import (
+    count_triangles,
+    triangles_per_edge_budget,
+    wedge_count,
+)
+
+from conftest import graph_strategy
+
+
+def nx_count(g: COOGraph) -> int:
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_nodes))
+    G.add_edges_from(g.edges().tolist())
+    return sum(nx.triangles(G).values()) // 3
+
+
+class TestKnownGraphs:
+    def test_empty(self):
+        assert count_triangles(COOGraph.from_edges([], num_nodes=4)) == 0
+
+    def test_single_triangle(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+
+    def test_k4_has_four(self):
+        k4 = COOGraph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], num_nodes=4
+        )
+        assert count_triangles(k4) == 4
+
+    def test_k5_has_ten(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        assert count_triangles(COOGraph.from_edges(edges, num_nodes=5)) == 10
+
+    def test_path_has_none(self):
+        path = COOGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=4)
+        assert count_triangles(path) == 0
+
+    def test_star_has_none(self):
+        star = COOGraph.from_edges([(0, i) for i in range(1, 9)], num_nodes=9)
+        assert count_triangles(star) == 0
+
+    def test_uncanonical_input_ok(self):
+        g = COOGraph.from_edges([(1, 0), (2, 1), (0, 2), (2, 0)], num_nodes=3)
+        assert count_triangles(g) == 1
+
+
+class TestAgainstReferences:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vs_networkx(self, rngs, seed):
+        g = erdos_renyi(70, 400, rngs.stream("er", seed)).canonicalize()
+        assert count_triangles(g) == nx_count(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vs_dense_reference(self, rngs, seed):
+        g = erdos_renyi(40, 200, rngs.stream("d", seed)).canonicalize()
+        assert count_triangles(g) == count_triangles_dense(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vs_set_reference(self, rngs, seed):
+        g = erdos_renyi(40, 150, rngs.stream("s", seed)).canonicalize()
+        assert count_triangles(g) == count_triangles_sets(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=graph_strategy(max_nodes=25, max_edges=90))
+    def test_property_vs_networkx(self, g):
+        assert count_triangles(g) == nx_count(g)
+
+    def test_chunking_does_not_change_result(self, rngs):
+        g = erdos_renyi(120, 1500, rngs.stream("chunk")).canonicalize()
+        full = count_triangles(g, chunk_wedges=1 << 23)
+        tiny_chunks = count_triangles(g, chunk_wedges=64)
+        assert full == tiny_chunks
+
+
+class TestWedges:
+    def test_wedge_count_triangle(self, triangle_graph):
+        # Degrees 2,2,3,1 -> wedges = 1+1+3+0 = 5.
+        assert wedge_count(triangle_graph) == 5
+
+    def test_budget_bounds_wedges(self, small_graph):
+        """Degree-ordered budget is at most the total wedge count."""
+        assert triangles_per_edge_budget(small_graph) <= wedge_count(small_graph)
+
+    def test_budget_zero_for_empty(self):
+        assert triangles_per_edge_budget(COOGraph.from_edges([], num_nodes=2)) == 0
+
+    def test_budget_at_least_triangles(self, small_graph):
+        """Each triangle requires at least one wedge check."""
+        assert triangles_per_edge_budget(small_graph) >= count_triangles(small_graph)

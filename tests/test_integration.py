@@ -1,0 +1,118 @@
+"""Cross-module integration scenarios exercising the whole stack end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicPimCounter, PimTriangleCounter
+from repro.baselines import CpuCsrCounter, GpuCounter
+from repro.graph.datasets import get_dataset
+from repro.graph.generators import rmat
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.triangles import count_triangles
+from repro.pimsim.config import DpuConfig, PimSystemConfig
+from repro.streaming.estimators import relative_error
+
+
+class TestFileToCount:
+    """The paper's actual workflow: COO file on disk -> count."""
+
+    def test_round_trip_through_disk(self, tmp_path, rngs):
+        g = rmat(9, 8, rngs.stream("file")).canonicalize()
+        path = tmp_path / "graph.el"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, num_nodes=g.num_nodes).canonicalize()
+        result = PimTriangleCounter(num_colors=4, seed=1).count(loaded)
+        assert result.count == count_triangles(g)
+
+
+class TestAllCountersAgree:
+    @pytest.mark.parametrize("name", ["kronecker23", "orkut", "humanjung"])
+    def test_pim_cpu_gpu_same_count(self, name):
+        g = get_dataset(name, "tiny")
+        pim = PimTriangleCounter(num_colors=4, seed=0).count(g).count
+        cpu = CpuCsrCounter().count(g).count
+        gpu = GpuCounter().count(g).count
+        assert pim == cpu == gpu == count_triangles(g)
+
+
+class TestSmallMramForcesReservoir:
+    def test_tiny_banks_still_estimate(self, rngs):
+        """A system with miniature MRAM banks transparently falls back to
+        reservoir sampling instead of failing."""
+        g = rmat(10, 8, rngs.stream("small-mram")).canonicalize()
+        truth = count_triangles(g)
+        config = PimSystemConfig(dpu=DpuConfig(mram_bytes=16 * 1024))  # 16 KiB banks
+        result = PimTriangleCounter(num_colors=3, seed=1, system_config=config).count(g)
+        assert not result.is_exact
+        assert np.all(result.reservoir_scales > 0)
+        assert relative_error(result.estimate, truth) < 0.5
+
+    def test_full_banks_exact_on_same_graph(self, rngs):
+        g = rmat(10, 8, rngs.stream("small-mram")).canonicalize()
+        result = PimTriangleCounter(num_colors=3, seed=1).count(g)
+        assert result.count == count_triangles(g)
+
+
+class TestStaticVsDynamicConsistency:
+    def test_dynamic_final_state_matches_static(self):
+        g = get_dataset("livejournal", "tiny")
+        static = PimTriangleCounter(num_colors=3, seed=7).count(g)
+        dyn = DynamicPimCounter(g.num_nodes, num_colors=3, seed=7)
+        for batch in g.split_batches(6):
+            dyn.apply_update(batch)
+        assert dyn.triangles == static.count == count_triangles(g)
+
+
+class TestSeedStability:
+    def test_full_pipeline_deterministic(self):
+        g = get_dataset("orkut", "tiny")
+        a = PimTriangleCounter(num_colors=4, uniform_p=0.5, seed=3).count(g)
+        b = PimTriangleCounter(num_colors=4, uniform_p=0.5, seed=3).count(g)
+        assert a.estimate == b.estimate
+        np.testing.assert_array_equal(a.per_dpu_counts, b.per_dpu_counts)
+        assert a.total_seconds == pytest.approx(b.total_seconds)
+
+
+class TestScaledSystems:
+    def test_one_dimm_system(self):
+        """A single-DIMM machine (128 DPUs) supports at most 8 colors."""
+        config = PimSystemConfig(num_ranks=2, dpus_per_rank=64)
+        counter = PimTriangleCounter(num_colors=8, system_config=config)
+        assert counter.max_colors() == 8
+        g = get_dataset("v1r", "tiny")
+        assert counter.count(g).count == count_triangles(g)
+
+    def test_paper_system_shape(self):
+        from repro.pimsim.config import PAPER_SYSTEM
+
+        assert PAPER_SYSTEM.total_dpus == 2560
+        assert PAPER_SYSTEM.dpu.mram_bytes == 64 * 1024 * 1024
+        assert PAPER_SYSTEM.dpu.num_tasklets == 16
+
+
+class TestEndToEndProperty:
+    """One hypothesis property over the whole stack: random graph, random
+    configuration, exact path — the pipeline must equal the oracle."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.data(),
+    )
+    def test_pipeline_exact_for_random_configs(self, data):
+        from conftest import graph_strategy
+
+        g = data.draw(graph_strategy(max_nodes=24, max_edges=90))
+        colors = data.draw(self.st.integers(min_value=1, max_value=6))
+        seed = data.draw(self.st.integers(min_value=0, max_value=100))
+        use_mg = data.draw(self.st.booleans())
+        variant = data.draw(self.st.sampled_from(["merge", "probe"]))
+        kwargs = dict(num_colors=colors, seed=seed)
+        if use_mg:
+            kwargs.update(misra_gries_k=16, misra_gries_t=2)
+        counter = PimTriangleCounter(**kwargs).with_options(kernel_variant=variant)
+        assert counter.count(g).count == count_triangles(g)

@@ -1,0 +1,107 @@
+"""Golden tests of the kernel cost accounting.
+
+Every figure's *shape* flows from these charges, so they are locked against a
+hand-computed tiny sample: any change to the cost formulas must consciously
+update these numbers (and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel_tc_fast import KernelCosts, fast_count
+from repro.core.kernel_tc_probe import probe_count
+from repro.core.orient import orient_and_sort
+from repro.core.region_index import build_region_index
+
+# The worked sample from docs/algorithm.md: 6 nodes, 8 edges, 2 triangles.
+EDGES = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (1, 5)]
+
+
+@pytest.fixture
+def sample():
+    src = np.array([e[0] for e in EDGES], dtype=np.int64)
+    dst = np.array([e[1] for e in EDGES], dtype=np.int64)
+    return src, dst
+
+
+class TestHandComputedQuantities:
+    """Every intermediate quantity computed by hand for the worked sample."""
+
+    def test_sorted_sample(self, sample):
+        u, v, stats = orient_and_sort(*sample)
+        assert list(zip(u.tolist(), v.tolist())) == [
+            (0, 1), (0, 2), (1, 2), (1, 5), (2, 3), (2, 4), (3, 4), (4, 5),
+        ]
+        # m=8 -> sort steps = 8 * ceil(log2 8) = 24; one WRAM run -> 1 pass.
+        assert stats.sort_steps == 24
+        assert stats.mram_passes == 1
+
+    def test_region_table(self, sample):
+        u, v, _ = orient_and_sort(*sample)
+        idx = build_region_index(u)
+        assert idx.nodes.tolist() == [0, 1, 2, 3, 4]
+        assert idx.starts.tolist() == [0, 2, 4, 6, 7]
+        assert idx.ends.tolist() == [2, 4, 6, 7, 8]
+        # 5 regions -> ceil(log2 6) = 3 binary-search steps.
+        assert idx.search_steps() == 3
+
+    def test_merge_steps_charged(self, sample):
+        """Charged merge work = sum over edges of (suffix(u) + deg+(v)), with
+        d_v = 0 edges skipped.
+
+        Per sorted edge: (0,1): 1+2; (0,2): 0+2; (1,2): 1+2; (1,5): 0+0 skip;
+        (2,3): 1+1; (2,4): 0+1; (3,4): 0+1; (4,5): 0+0 skip -> total 12.
+        """
+        res = fast_count(*sample, num_nodes=6)
+        assert res.triangles == 2
+        assert res.merge_steps_charged == 12
+        assert res.binary_searches == 8
+        assert res.regions == 5
+
+    def test_instruction_total(self, sample):
+        """Full per-DPU instruction charge assembled from the defaults.
+
+        per-edge: 8 edges * (edge_loop 8 + binsearch 3*8) = 256
+        merge:    12 steps * 5                             = 60
+        balanced: orient 8*4 + sort 24*6 + region 8*3 + tri 2*2 = 204
+        total                                              = 520
+        """
+        res = fast_count(*sample, num_nodes=6)
+        assert float(res.per_tasklet_instr.sum()) == pytest.approx(520.0)
+
+    def test_probe_quantities(self, sample):
+        """Probe kernel: probes = sum d_v = 9; steps = 9 * ceil(log2 9) = 36."""
+        res = probe_count(*sample, num_nodes=6)
+        assert res.triangles == 2
+        assert res.probes == 9
+        assert res.probe_steps == 9 * 4
+
+    def test_dma_bytes_scale_with_edge_bytes(self, sample):
+        small = fast_count(*sample, num_nodes=6, costs=KernelCosts(edge_bytes=8))
+        big = fast_count(*sample, num_nodes=6, costs=KernelCosts(edge_bytes=16))
+        assert float(big.per_tasklet_dma_bytes.sum()) == pytest.approx(
+            2 * float(small.per_tasklet_dma_bytes.sum())
+        )
+
+
+class TestTaskletAssignment:
+    def test_blocks_deal_round_robin(self):
+        """With a 2-edge buffer and 4 tasklets, 8 blocks of a 16-edge sample
+        land 2 blocks per tasklet."""
+        m = 16
+        src = np.arange(m, dtype=np.int64)
+        dst = src + 1
+        costs = KernelCosts(edge_buffer_bytes=16, edge_bytes=8)  # 2 edges/buffer
+        res = fast_count(src, dst, num_nodes=m + 1, costs=costs, num_tasklets=4)
+        # Path graph: no merges (all d_v = 1? deg+ of dst...) — instr evenly split.
+        per = res.per_tasklet_instr
+        assert per.max() / per.min() < 1.6
+
+    def test_single_tasklet_gets_everything(self, ):
+        src = np.array([0, 1, 0], dtype=np.int64)
+        dst = np.array([1, 2, 2], dtype=np.int64)
+        res = fast_count(src, dst, num_nodes=3, num_tasklets=1)
+        assert res.per_tasklet_instr.shape == (1,)
+        assert res.per_tasklet_instr[0] > 0

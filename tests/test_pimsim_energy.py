@@ -1,0 +1,47 @@
+"""Energy ledger (linear PrIM-style model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pimsim.config import CostModel, DpuConfig
+from repro.pimsim.dpu import Dpu
+from repro.pimsim.energy import EnergyModel, EnergyReport
+
+
+@pytest.fixture
+def dpu() -> Dpu:
+    d = Dpu(dpu_id=0, config=DpuConfig(), cost=CostModel())
+    d.charge_instructions(0, 1_000_000)
+    d.charge_mram_read(0, 1 << 20)
+    return d
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_positive(self, dpu):
+        assert EnergyModel().dpu_energy(dpu) > 0
+
+    def test_linear_in_instructions(self):
+        model = EnergyModel(dpu_static_w=0.0)
+        a = Dpu(dpu_id=0, config=DpuConfig(), cost=CostModel())
+        a.charge_instructions(0, 1000)
+        b = Dpu(dpu_id=1, config=DpuConfig(), cost=CostModel())
+        b.charge_instructions(0, 2000)
+        # Static power excluded; remaining term is linear.
+        ea = model.dpu_energy(a, active_seconds=0.0)
+        eb = model.dpu_energy(b, active_seconds=0.0)
+        assert eb == pytest.approx(2 * ea)
+
+    def test_static_term_uses_active_seconds(self, dpu):
+        model = EnergyModel()
+        idle = model.dpu_energy(dpu, active_seconds=0.0)
+        busy = model.dpu_energy(dpu, active_seconds=1.0)
+        assert busy - idle == pytest.approx(model.dpu_static_w)
+
+    def test_transfer_energy(self):
+        model = EnergyModel()
+        assert model.transfer_energy(1000) == pytest.approx(1000 * model.transfer_byte_j)
+
+    def test_report_total(self):
+        report = EnergyReport(dpu_dynamic_j=1.0, transfer_j=0.5)
+        assert report.total_j == 1.5

@@ -1,0 +1,82 @@
+"""MRAM bank model: capacity, alignment, traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MramCapacityError
+from repro.pimsim.mram import Mram
+
+
+@pytest.fixture
+def bank() -> Mram:
+    return Mram(capacity=1024)
+
+
+class TestAllocation:
+    def test_store_and_load(self, bank):
+        arr = np.arange(10, dtype=np.int64)
+        bank.store("edges", arr)
+        np.testing.assert_array_equal(bank.load("edges"), arr)
+
+    def test_alignment_rounds_up(self, bank):
+        bank.store("x", np.zeros(3, dtype=np.int8))  # 3 bytes -> 8 aligned
+        assert bank.used == 8
+
+    def test_overflow_raises(self, bank):
+        with pytest.raises(MramCapacityError):
+            bank.store("big", np.zeros(200, dtype=np.int64))
+
+    def test_replace_frees_old_size(self, bank):
+        bank.store("x", np.zeros(64, dtype=np.int8))
+        bank.store("x", np.zeros(32, dtype=np.int8))
+        assert bank.used == 32
+
+    def test_exact_fit_accepted(self, bank):
+        bank.store("x", np.zeros(1024, dtype=np.int8))
+        assert bank.free == 0
+
+    def test_discard(self, bank):
+        bank.store("x", np.zeros(16, dtype=np.int8))
+        bank.discard("x")
+        assert bank.used == 0
+        assert not bank.has("x")
+
+    def test_discard_missing_is_noop(self, bank):
+        bank.discard("ghost")
+
+    def test_free_all(self, bank):
+        bank.store("a", np.zeros(8, dtype=np.int8))
+        bank.store("b", np.zeros(8, dtype=np.int8))
+        bank.free_all()
+        assert bank.used == 0
+        assert bank.symbols() == ()
+
+    def test_fits(self, bank):
+        assert bank.fits(1024)
+        assert not bank.fits(1025)
+        bank.store("x", np.zeros(512, dtype=np.int8))
+        assert bank.fits(512)
+        assert not bank.fits(513)
+
+
+class TestTraffic:
+    def test_write_counted(self, bank):
+        bank.store("x", np.zeros(10, dtype=np.int64))
+        assert bank.bytes_written == 80
+
+    def test_write_not_counted_on_host_push(self, bank):
+        bank.store("x", np.zeros(10, dtype=np.int64), count_write=False)
+        assert bank.bytes_written == 0
+
+    def test_read_counted(self, bank):
+        bank.store("x", np.zeros(10, dtype=np.int64))
+        bank.load("x")
+        assert bank.bytes_read == 80
+
+    def test_reset_traffic(self, bank):
+        bank.store("x", np.zeros(10, dtype=np.int64))
+        bank.load("x")
+        bank.reset_traffic()
+        assert bank.bytes_read == 0 and bank.bytes_written == 0

@@ -1,0 +1,141 @@
+"""PimSystem / DpuSet: allocation, kernel lifecycle, transfers, clock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    KernelLaunchError,
+    PimAllocationError,
+    TransferError,
+)
+from repro.pimsim.config import CostModel, DpuConfig, PimSystemConfig
+from repro.pimsim.dpu import Dpu
+from repro.pimsim.system import PimSystem
+from repro.pimsim.wram import WramPlan
+
+
+class CountdownKernel:
+    """Toy kernel: sums an MRAM buffer and charges one instruction per element."""
+
+    name = "countdown"
+
+    def wram_plan(self, dpu: Dpu) -> WramPlan:
+        return WramPlan(per_tasklet_buffers={"buf": 256})
+
+    def run(self, dpu: Dpu) -> None:
+        data = dpu.mram.load("input", count_read=False)
+        dpu.charge_balanced(float(data.size))
+        dpu.mram.store("output", np.array([data.sum()]), count_write=False)
+
+
+@pytest.fixture
+def system() -> PimSystem:
+    return PimSystem(PimSystemConfig(num_ranks=2, dpus_per_rank=4))
+
+
+class TestAllocation:
+    def test_allocates_requested(self, system):
+        dpus = system.allocate(5)
+        assert len(dpus) == 5
+
+    def test_rejects_zero(self, system):
+        with pytest.raises(PimAllocationError):
+            system.allocate(0)
+
+    def test_rejects_too_many(self, system):
+        with pytest.raises(PimAllocationError):
+            system.allocate(9)
+
+    def test_setup_time_grows_with_ranks(self, system):
+        one_rank = system.allocate(4).clock.get("setup")
+        two_ranks = system.allocate(8).clock.get("setup")
+        assert two_ranks > one_rank
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PimSystemConfig(num_ranks=0)
+
+    def test_with_cost_override(self):
+        cfg = PimSystemConfig().with_cost(scatter_bandwidth=1e9)
+        assert cfg.cost.scatter_bandwidth == 1e9
+        with pytest.raises(ConfigurationError):
+            PimSystemConfig().with_cost(scatter_bandwidth=-1)
+
+
+class TestKernelLifecycle:
+    def test_launch_requires_kernel(self, system):
+        dpus = system.allocate(2)
+        with pytest.raises(KernelLaunchError):
+            dpus.launch()
+
+    def test_full_cycle(self, system):
+        dpus = system.allocate(3)
+        dpus.load_kernel(CountdownKernel())
+        dpus.scatter("input", [np.arange(10), np.arange(20), np.arange(5)])
+        dpus.launch()
+        outs = dpus.gather("output")
+        assert [int(o[0]) for o in outs] == [45, 190, 10]
+
+    def test_launch_advances_clock_by_slowest(self, system):
+        dpus = system.allocate(2)
+        dpus.load_kernel(CountdownKernel())
+        dpus.scatter("input", [np.arange(10), np.arange(100_000)])
+        before = dpus.clock.get("triangle_count")
+        dpus.launch()
+        elapsed = dpus.clock.get("triangle_count") - before
+        slowest = max(d.compute_seconds() for d in dpus.dpus)
+        assert elapsed == pytest.approx(
+            slowest + system.config.cost.launch_latency
+        )
+
+    def test_freed_set_unusable(self, system):
+        dpus = system.allocate(2)
+        dpus.free()
+        with pytest.raises(KernelLaunchError):
+            dpus.launch()
+
+    def test_broadcast_stores_on_all(self, system):
+        dpus = system.allocate(3)
+        dpus.broadcast("table", np.arange(4))
+        assert all(d.mram.has("table") for d in dpus.dpus)
+
+    def test_scatter_requires_matching_count(self, system):
+        dpus = system.allocate(2)
+        with pytest.raises(TransferError):
+            dpus.scatter("x", [np.arange(3)])
+
+    def test_clock_phases_accumulate(self, system):
+        dpus = system.allocate(2)
+        dpus.load_kernel(CountdownKernel())
+        dpus.scatter("input", [np.arange(4), np.arange(4)])
+        dpus.launch()
+        clock = dpus.clock
+        assert clock.get("setup") > 0
+        assert clock.get("sample_creation") > 0
+        assert clock.get("triangle_count") > 0
+        assert clock.total() == pytest.approx(
+            clock.get("setup") + clock.get("sample_creation") + clock.get("triangle_count")
+        )
+
+
+class TestSimClock:
+    def test_rejects_negative(self):
+        from repro.pimsim.kernel import SimClock
+
+        clock = SimClock()
+        with pytest.raises(KernelLaunchError):
+            clock.advance("x", -1.0)
+
+    def test_merge_and_copy(self):
+        from repro.pimsim.kernel import SimClock
+
+        a = SimClock()
+        a.advance("x", 1.0)
+        b = a.copy()
+        b.advance("y", 2.0)
+        assert a.total() == 1.0
+        a.merge(b)
+        assert a.get("x") == 2.0 and a.get("y") == 2.0

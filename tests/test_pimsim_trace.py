@@ -1,0 +1,63 @@
+"""Execution trace: event recording and timeline rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PimTriangleCounter
+from repro.pimsim import PimSystem, PimSystemConfig, Trace, render_timeline
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        t = Trace()
+        t.record("setup", "alloc", 0.01)
+        t.record("sample_creation", "scatter", 0.002, payload_bytes=4096)
+        assert len(t) == 2
+        assert t.kinds() == ["alloc", "scatter"]
+        assert t.total_seconds("scatter") == pytest.approx(0.002)
+        assert t.total_bytes() == 4096
+
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(enabled=False)
+        t.record("x", "y", 1.0)
+        assert len(t) == 0
+
+    def test_render_timeline_cumulative(self):
+        t = Trace()
+        t.record("setup", "alloc", 0.010, detail="4 DPUs")
+        t.record("setup", "load_kernel", 0.001, detail="tc")
+        text = render_timeline(t)
+        assert "alloc" in text and "4 DPUs" in text
+        assert "11.000 ms" in text  # cumulative on the second line
+
+
+class TestDpuSetTracing:
+    def test_operation_sequence(self):
+        system = PimSystem(PimSystemConfig(num_ranks=1, dpus_per_rank=4))
+        dpus = system.allocate(2)
+        dpus.broadcast("t", np.arange(3))
+        dpus.gather("t")
+        dpus.free()
+        assert dpus.trace.kinds() == ["alloc", "broadcast", "gather", "free"]
+
+    def test_pipeline_trace_attached_to_result(self, small_graph):
+        result = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        kinds = result.trace.kinds()
+        assert kinds[0] == "alloc"
+        assert "load_kernel" in kinds
+        assert "scatter" in kinds
+        assert "launch" in kinds
+        assert "gather" in kinds
+        assert kinds[-1] == "free"
+
+    def test_trace_times_consistent_with_clock(self, small_graph):
+        """Traced transfer+launch seconds are a subset of the clocked total."""
+        result = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        assert result.trace.total_seconds() <= result.total_seconds + 1e-12
+
+    def test_timeline_renders_for_full_run(self, small_graph):
+        result = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        text = render_timeline(result.trace)
+        assert "scatter" in text and "triangle_count" in text

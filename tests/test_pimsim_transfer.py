@@ -1,0 +1,77 @@
+"""CPU<->PIM transfer model: rank padding, monotonicity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TransferError
+from repro.pimsim.config import PimSystemConfig
+from repro.pimsim.transfer import TransferModel
+
+
+@pytest.fixture
+def model() -> TransferModel:
+    return TransferModel(PimSystemConfig(num_ranks=4, dpus_per_rank=8))
+
+
+class TestBroadcast:
+    def test_latency_floor(self, model):
+        stats = model.broadcast(0, 32)
+        assert stats.seconds == pytest.approx(model.cost.transfer_latency)
+
+    def test_linear_in_bytes(self, model):
+        a = model.broadcast(1 << 20, 32).seconds
+        b = model.broadcast(2 << 20, 32).seconds
+        lat = model.cost.transfer_latency
+        assert (b - lat) == pytest.approx(2 * (a - lat))
+
+    def test_rejects_zero_dpus(self, model):
+        with pytest.raises(TransferError):
+            model.broadcast(10, 0)
+
+
+class TestScatter:
+    def test_uniform_sizes_no_padding(self, model):
+        sizes = np.full(32, 1000, dtype=np.int64)
+        stats = model.scatter(sizes)
+        assert stats.effective_bytes == stats.payload_bytes == 32_000
+
+    def test_skew_pads_to_rank_max(self, model):
+        sizes = np.zeros(8, dtype=np.int64)  # one full rank
+        sizes[0] = 8000
+        stats = model.scatter(sizes)
+        assert stats.payload_bytes == 8000
+        assert stats.effective_bytes == 8 * 8000  # padded to the max buffer
+
+    def test_multi_rank_padding_is_per_rank(self, model):
+        sizes = np.concatenate([np.full(8, 100), np.full(8, 10_000)]).astype(np.int64)
+        stats = model.scatter(sizes)
+        assert stats.effective_bytes == 8 * 100 + 8 * 10_000
+
+    def test_monotone_in_bytes(self, model):
+        small = model.scatter(np.full(16, 100, dtype=np.int64)).seconds
+        big = model.scatter(np.full(16, 10_000, dtype=np.int64)).seconds
+        assert big > small
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(TransferError):
+            model.scatter(np.array([-1]))
+
+    def test_rejects_empty(self, model):
+        with pytest.raises(TransferError):
+            model.scatter(np.array([], dtype=np.int64))
+
+
+class TestGather:
+    def test_same_padding_semantics_as_scatter(self, model):
+        sizes = np.arange(1, 9, dtype=np.int64) * 100
+        assert (
+            model.gather(sizes).effective_bytes == model.scatter(sizes).effective_bytes
+        )
+
+
+class TestRanksUsed:
+    @pytest.mark.parametrize("dpus,expected", [(1, 1), (8, 1), (9, 2), (32, 4)])
+    def test_ceiling(self, model, dpus, expected):
+        assert model.ranks_used(dpus) == expected

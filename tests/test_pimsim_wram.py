@@ -1,0 +1,48 @@
+"""WRAM scratchpad planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WramCapacityError
+from repro.common.units import KiB
+from repro.pimsim.wram import Wram, WramPlan
+
+
+class TestWramPlan:
+    def test_totals(self):
+        plan = WramPlan(per_tasklet_buffers={"a": 512, "b": 256}, shared_bytes=1024)
+        assert plan.per_tasklet_total() == 768
+        assert plan.total(16) == 1024 + 16 * 768
+
+    def test_fitting_plan_accepted(self):
+        wram = Wram(capacity=64 * KiB, num_tasklets=16)
+        plan = WramPlan(per_tasklet_buffers={"buf": 2 * KiB}, shared_bytes=4 * KiB)
+        wram.apply_plan(plan)
+        assert wram.plan is plan
+
+    def test_oversized_plan_rejected(self):
+        wram = Wram(capacity=64 * KiB, num_tasklets=16)
+        plan = WramPlan(per_tasklet_buffers={"buf": 8 * KiB})  # 128 KiB > 64
+        with pytest.raises(WramCapacityError):
+            wram.apply_plan(plan)
+
+    def test_buffer_capacity_in_items(self):
+        wram = Wram(capacity=64 * KiB, num_tasklets=16)
+        wram.apply_plan(WramPlan(per_tasklet_buffers={"edges": 1024}))
+        assert wram.buffer_capacity("edges", itemsize=8) == 128
+
+    def test_buffer_query_requires_plan(self):
+        wram = Wram(capacity=64 * KiB, num_tasklets=16)
+        with pytest.raises(WramCapacityError):
+            wram.buffer_bytes("edges")
+
+    def test_paper_kernel_plan_fits_real_wram(self):
+        """The production kernel's default plan must fit 64 KiB / 16 tasklets."""
+        from repro.core.kernel_tc_fast import KernelCosts, TriangleCountKernel
+        from repro.pimsim.config import CostModel, DpuConfig
+        from repro.pimsim.dpu import Dpu
+
+        dpu = Dpu(dpu_id=0, config=DpuConfig(), cost=CostModel())
+        kernel = TriangleCountKernel(num_nodes=10, costs=KernelCosts())
+        dpu.wram.apply_plan(kernel.wram_plan(dpu))

@@ -1,0 +1,79 @@
+"""Correction algebra combining the three estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming.estimators import (
+    CountCorrection,
+    combine_dpu_counts,
+    relative_error,
+)
+
+
+class TestCombine:
+    def test_exact_path_sums(self):
+        raw = np.array([3, 4, 5])
+        ones = np.ones(3)
+        mono = np.array([False, False, False])
+        assert combine_dpu_counts(raw, ones, mono, num_colors=2) == 12.0
+
+    def test_mono_correction(self):
+        """C=3: each single-color core's count is subtracted C-1 = 2 times."""
+        raw = np.array([10.0, 1.0, 2.0])
+        mono = np.array([False, True, True])
+        out = combine_dpu_counts(raw, np.ones(3), mono, num_colors=3)
+        assert out == 13.0 - 2 * 3.0
+
+    def test_single_color_no_double_count(self):
+        """C=1: one core, its count IS the answer (subtract 0 times)."""
+        raw = np.array([42.0])
+        out = combine_dpu_counts(raw, np.ones(1), np.array([True]), num_colors=1)
+        assert out == 42.0
+
+    def test_reservoir_scaling_per_dpu(self):
+        raw = np.array([10.0, 10.0])
+        scales = np.array([1.0, 0.5])
+        mono = np.array([False, False])
+        out = combine_dpu_counts(raw, scales, mono, num_colors=2)
+        assert out == 10.0 + 20.0
+
+    def test_uniform_correction_applied_last(self):
+        raw = np.array([8.0])
+        out = combine_dpu_counts(
+            raw, np.ones(1), np.array([False]), num_colors=2, uniform_p=0.5
+        )
+        assert out == pytest.approx(8.0 / 0.125)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            combine_dpu_counts(np.ones(2), np.ones(3), np.zeros(2, bool), num_colors=2)
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            combine_dpu_counts(
+                np.ones(1), np.zeros(1), np.zeros(1, bool), num_colors=2
+            )
+
+    def test_dataclass_front_end(self):
+        c = CountCorrection(num_colors=2, uniform_p=1.0)
+        out = c.finalize(np.array([5.0]), np.ones(1), np.array([False]))
+        assert out == 5.0
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_basic(self):
+        assert relative_error(90, 100) == pytest.approx(0.1)
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0, 0) == 0.0
+
+    def test_zero_truth_nonzero_estimate_is_100pct(self):
+        assert relative_error(5, 0) == 1.0
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error(110, 100) == relative_error(90, 100)

@@ -1,0 +1,158 @@
+"""Misra-Gries summary: the n/K guarantee, size bound, mergeability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.validation import ConfigurationError
+from repro.streaming.misra_gries import MisraGries, top_nodes_from_counts
+
+
+def stream_with_heavy_hitters(n_background: int, heavy: dict[int, int], rng) -> np.ndarray:
+    items = [rng.integers(1000, 2000, size=n_background)]
+    for item, count in heavy.items():
+        items.append(np.full(count, item))
+    stream = np.concatenate(items)
+    return rng.permutation(stream)
+
+
+class TestScalarRule:
+    def test_size_never_exceeds_k(self, rng):
+        mg = MisraGries(5)
+        for item in rng.integers(0, 50, size=2000).tolist():
+            mg.update(item)
+            assert mg.size <= 5
+
+    def test_single_item_stream(self):
+        mg = MisraGries(3)
+        for _ in range(10):
+            mg.update(7)
+        assert mg.frequency_lower_bound(7) == 10
+
+    def test_decrement_case(self):
+        mg = MisraGries(2)
+        for item in [1, 2, 3]:  # third distinct item triggers global decrement
+            mg.update(item)
+        assert mg.size == 0  # all counters were 1, all decremented away
+
+    def test_guarantee_heavy_hitter_present(self, rng):
+        """Every item with frequency > n/K must be in the summary."""
+        stream = stream_with_heavy_hitters(3000, {1: 800, 2: 500}, rng)
+        mg = MisraGries(10)
+        for item in stream.tolist():
+            mg.update(item)
+        n = stream.size
+        for item in (1, 2):
+            true_freq = int((stream == item).sum())
+            assert true_freq > n / 10
+            assert item in mg.counters
+
+    def test_counter_is_lower_bound(self, rng):
+        stream = stream_with_heavy_hitters(1000, {5: 400}, rng)
+        mg = MisraGries(8)
+        for item in stream.tolist():
+            mg.update(item)
+        assert mg.frequency_lower_bound(5) <= int((stream == 5).sum())
+
+    def test_error_bound(self):
+        mg = MisraGries(4)
+        for item in range(100):
+            mg.update(item % 10)
+        assert mg.error_bound() == pytest.approx(100 / 4)
+
+
+class TestBatchRule:
+    def test_size_bound(self, rng):
+        mg = MisraGries(7)
+        mg.update_array(rng.integers(0, 100, size=5000))
+        assert mg.size <= 7
+
+    def test_guarantee_after_batches(self, rng):
+        stream = stream_with_heavy_hitters(4000, {1: 900, 2: 700, 3: 600}, rng)
+        mg = MisraGries(12)
+        for chunk in np.array_split(stream, 7):
+            mg.update_array(chunk)
+        for item in (1, 2, 3):
+            assert item in mg.counters
+
+    def test_counters_are_lower_bounds(self, rng):
+        stream = stream_with_heavy_hitters(2000, {9: 500}, rng)
+        mg = MisraGries(6)
+        mg.update_array(stream)
+        for item, counter in mg.counters.items():
+            assert counter <= int((stream == item).sum())
+
+    def test_empty_batch(self):
+        mg = MisraGries(3)
+        mg.update_array(np.array([]))
+        assert mg.size == 0 and mg.items_seen == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        items=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_property_guarantee(self, items, k):
+        """Batch path: anything with freq > n/k survives; counters lower-bound."""
+        arr = np.array(items)
+        mg = MisraGries(k)
+        mg.update_array(arr)
+        assert mg.size <= k
+        n = len(items)
+        values, counts = np.unique(arr, return_counts=True)
+        for v, c in zip(values.tolist(), counts.tolist()):
+            if c > n / k:
+                assert v in mg.counters
+            assert mg.frequency_lower_bound(v) <= c
+
+
+class TestMerge:
+    def test_merge_preserves_guarantee(self, rng):
+        stream = stream_with_heavy_hitters(6000, {1: 1500, 2: 1200}, rng)
+        parts = np.array_split(stream, 4)
+        merged = MisraGries(10)
+        for part in parts:
+            local = MisraGries(10)
+            local.update_array(part)
+            merged.merge(local)
+        assert merged.items_seen == stream.size
+        for item in (1, 2):
+            assert item in merged.counters
+
+    def test_merge_size_bound(self, rng):
+        a = MisraGries(5)
+        a.update_array(rng.integers(0, 40, size=1000))
+        b = MisraGries(5)
+        b.update_array(rng.integers(40, 80, size=1000))
+        a.merge(b)
+        assert a.size <= 5
+
+
+class TestTop:
+    def test_top_ordering(self):
+        mg = MisraGries(10)
+        mg.counters = {3: 100, 7: 50, 1: 200}
+        assert mg.top(2) == [1, 3]
+
+    def test_top_tie_broken_by_id(self):
+        mg = MisraGries(10)
+        mg.counters = {9: 50, 2: 50}
+        assert mg.top(2) == [2, 9]
+
+    def test_top_more_than_size(self):
+        mg = MisraGries(10)
+        mg.counters = {1: 5}
+        assert mg.top(4) == [1]
+
+    def test_oracle_top_nodes(self):
+        deg = np.array([3, 9, 1, 9, 0])
+        assert top_nodes_from_counts(deg, 2) == [1, 3]
+
+
+class TestValidation:
+    def test_rejects_zero_k(self):
+        with pytest.raises(ConfigurationError):
+            MisraGries(0)

@@ -1,0 +1,76 @@
+"""Uniform edge sampling (DOULION)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.graph.coo import COOGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.triangles import count_triangles
+from repro.streaming.uniform import uniform_sample
+
+
+class TestSampling:
+    def test_p_one_is_identity(self, small_graph, rng):
+        s = uniform_sample(small_graph, 1.0, rng)
+        assert s.graph is small_graph
+        assert s.triangle_scale == 1.0
+
+    def test_keeps_roughly_p_fraction(self, rng):
+        g = erdos_renyi(500, 8000, rng)
+        s = uniform_sample(g, 0.25, rng)
+        assert 0.2 < s.edges_kept / g.num_edges < 0.3
+
+    def test_sample_is_subset(self, small_graph, rng):
+        s = uniform_sample(small_graph, 0.5, rng)
+        keys = set(small_graph.edge_keys().tolist())
+        assert set(s.graph.edge_keys().tolist()) <= keys
+
+    def test_rejects_zero_p(self, small_graph, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_sample(small_graph, 0.0, rng)
+
+    def test_scale_is_p_cubed(self, small_graph, rng):
+        s = uniform_sample(small_graph, 0.5, rng)
+        assert s.triangle_scale == pytest.approx(0.125)
+
+    def test_unbias(self, small_graph, rng):
+        s = uniform_sample(small_graph, 0.5, rng)
+        assert s.unbias(10) == pytest.approx(80.0)
+
+    def test_preserves_num_nodes_and_names(self, small_graph, rng):
+        s = uniform_sample(small_graph, 0.5, rng)
+        assert s.graph.num_nodes == small_graph.num_nodes
+        assert "p=0.5" in s.graph.name
+
+
+class TestEstimatorStatistics:
+    def test_unbiased_over_trials(self):
+        """E[T_sampled / p^3] ~ T over many independent samplings."""
+        rngs = RngFactory(77)
+        g = erdos_renyi(120, 2500, rngs.stream("g")).canonicalize()
+        truth = count_triangles(g)
+        assert truth > 50
+        estimates = []
+        for t in range(300):
+            s = uniform_sample(g, 0.5, rngs.stream("s", t))
+            estimates.append(count_triangles(s.graph) / s.triangle_scale)
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.1)
+
+    def test_variance_grows_as_p_shrinks(self):
+        rngs = RngFactory(78)
+        g = erdos_renyi(120, 2500, rngs.stream("g")).canonicalize()
+        truth = count_triangles(g)
+
+        def rel_errors(p: float) -> float:
+            errs = []
+            for t in range(60):
+                s = uniform_sample(g, p, rngs.stream(f"p{p}", t))
+                est = count_triangles(s.graph) / s.triangle_scale
+                errs.append(abs(est - truth) / truth)
+            return float(np.mean(errs))
+
+        assert rel_errors(0.1) > rel_errors(0.5)

@@ -1,0 +1,74 @@
+"""Self-verification module and sparse-ID compaction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.coo import COOGraph
+from repro.graph.triangles import count_triangles
+from repro.verify import verify_installation
+
+
+class TestVerifyInstallation:
+    def test_all_checks_pass(self):
+        checks = verify_installation(seed=3)
+        assert len(checks) == 6
+        for check in checks:
+            assert check.passed, f"{check.name}: {check.detail}"
+
+    def test_check_names_cover_pillars(self):
+        names = [c.name for c in verify_installation(seed=1)]
+        assert any("coloring" in n for n in names)
+        assert any("kernel" in n for n in names)
+        assert any("local" in n for n in names)
+
+    def test_cli_verify_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["dataset:v1r", "--tier", "tiny", "--colors", "2", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok ]" in out
+
+
+class TestCompact:
+    def test_sparse_ids_relabelled(self):
+        g = COOGraph.from_edges(
+            [(10**9, 2 * 10**9), (2 * 10**9, 3 * 10**9), (10**9, 3 * 10**9)],
+            num_nodes=3 * 10**9 + 1,
+        )
+        compact, mapping = g.compact()
+        assert compact.num_nodes == 3
+        assert mapping.tolist() == [10**9, 2 * 10**9, 3 * 10**9]
+        assert count_triangles(compact) == 1
+
+    def test_mapping_recovers_original(self, small_graph):
+        compact, mapping = small_graph.compact()
+        np.testing.assert_array_equal(mapping[compact.src], small_graph.src)
+        np.testing.assert_array_equal(mapping[compact.dst], small_graph.dst)
+
+    def test_isolated_nodes_dropped(self):
+        g = COOGraph.from_edges([(0, 5)], num_nodes=100)
+        compact, mapping = g.compact()
+        assert compact.num_nodes == 2
+        assert mapping.tolist() == [0, 5]
+
+    def test_triangle_count_invariant(self, small_graph):
+        compact, _ = small_graph.compact()
+        assert count_triangles(compact) == count_triangles(small_graph)
+
+    def test_empty_graph(self):
+        g = COOGraph.from_edges([], num_nodes=50)
+        compact, mapping = g.compact()
+        assert compact.num_nodes == 0
+        assert mapping.size == 0
+
+    def test_cli_auto_compacts_sparse_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sparse.el"
+        path.write_text("1000000000 2000000000\n2000000000 3000000000\n1000000000 3000000000\n")
+        assert main([str(path), "--colors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 nodes" in out
+        assert "triangles (exact): 1" in out
