@@ -11,6 +11,7 @@ Examples::
     repro-count graph.mtx --colors 8 --misra-gries 1024:64
     repro-count dataset:orkut --tier small --uniform-p 0.1 --trials 5
     repro-count dataset:wikipedia --local --top 10
+    repro-count dataset:orkut --colors 8 --executor process --jobs 4
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import numpy as np
 
 from .common.units import fmt_time
 from .core.api import PimTriangleCounter
+from .pimsim.config import EXECUTOR_NAMES
 from .graph.coo import COOGraph
 from .graph.datasets import DATASET_NAMES, get_dataset
 from .graph.io import read_edge_list, read_matrix_market
@@ -84,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="with --local: how many top nodes to print")
     parser.add_argument("--trials", type=int, default=1,
                         help="repeat with different seeds and report mean/std")
+    parser.add_argument("--executor", default=None, choices=EXECUTOR_NAMES,
+                        help="host engine for the per-DPU kernel runs; changes "
+                             "wall-clock only, never simulated time "
+                             "(default: $REPRO_EXECUTOR or serial)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker count for --executor thread/process "
+                             "(default: all cores)")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     return parser
@@ -112,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
             misra_gries_k=mg_k,
             misra_gries_t=mg_t,
             seed=args.seed + trial,
+            executor=args.executor,
+            jobs=args.jobs,
         )
         result = counter.count_local(graph) if args.local else counter.count(graph)
         estimates.append(result.estimate)

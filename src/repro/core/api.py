@@ -22,6 +22,7 @@ and the Misra-Gries optimization for hub-heavy graphs (Sec. 3.5)::
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 from ..coloring.triplets import colors_for_dpus, num_triplets
@@ -51,6 +52,8 @@ class PimTriangleCounter:
         misra_gries_k: int = 0,
         misra_gries_t: int = 0,
         seed: int = 0,
+        executor: str | None = None,
+        jobs: int | None = None,
         system_config: PimSystemConfig | None = None,
         options: PimTcOptions | None = None,
     ) -> None:
@@ -64,7 +67,23 @@ class PimTriangleCounter:
                 seed=seed,
             )
         self.options = options
-        self.system = PimSystem(system_config or PimSystemConfig())
+        config = system_config or PimSystemConfig()
+        # Host execution engine (``serial``/``thread``/``process``): purely a
+        # wall-clock knob — simulated times and counts are engine-invariant.
+        # REPRO_EXECUTOR / REPRO_JOBS let the experiment harness flip every
+        # counter it builds (e.g. the fig4 sweep at bench tier) without
+        # threading the knob through each construction site.
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR") or None
+        if jobs is None:
+            env_jobs = os.environ.get("REPRO_JOBS")
+            jobs = int(env_jobs) if env_jobs else None
+        if executor is not None or jobs is not None:
+            config = config.with_executor(
+                executor if executor is not None else config.executor,
+                jobs if jobs is not None else config.jobs,
+            )
+        self.system = PimSystem(config)
         self._pipeline = PimTcPipeline(options=self.options, system=self.system)
 
     # ------------------------------------------------------------------ counting

@@ -26,17 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..coloring.partition import ColoringPartitioner
+from ..coloring.partition import ColoringPartitioner, EdgePartition
 from ..common.errors import ConfigurationError
 from ..common.rng import RngFactory
 from ..graph.coo import COOGraph
 from ..pimsim.config import PimSystemConfig
+from ..pimsim.dpu import Dpu
 from ..pimsim.kernel import SimClock
-from ..pimsim.system import PimSystem
+from ..pimsim.system import DpuSet, PimSystem
 from ..streaming.estimators import combine_dpu_counts
 from ..streaming.misra_gries import MisraGries
 from ..streaming.reservoir import EdgeReservoir, reservoir_scale
-from ..streaming.uniform import uniform_sample
+from ..streaming.uniform import UniformSample, uniform_sample
 from .kernel_tc_fast import KernelCosts, TriangleCountKernel
 from .remap import RemapTable
 from .result import KernelAggregate, TcResult
@@ -44,15 +45,49 @@ from .result import KernelAggregate, TcResult
 __all__ = ["PimTcOptions", "PimTcPipeline"]
 
 
+def _insert_sample(dpu: Dpu, payload: tuple) -> tuple[int, float]:
+    """Per-DPU sample-insertion task (runs on the configured executor).
+
+    Inserts one core's routed edge batch into its MRAM, applying reservoir
+    replacement when the batch exceeds capacity, and charges the DPU for the
+    insert work.  Module-level and fed a pre-derived per-DPU RNG stream so the
+    process engine can pickle it; the stream derivation is stateless, so
+    results are bit-identical to the serial path.
+    """
+    s_arr, d_arr, capacity, rng, costs, remap_nodes = payload
+    dpu.reset_charges()
+    n_in = int(s_arr.size)
+    if n_in > capacity:
+        reservoir = EdgeReservoir(capacity, rng)
+        reservoir.offer_batch(s_arr, d_arr)
+        keep_src, keep_dst = reservoir.edges()
+        stored = int(keep_src.size)
+        # Replacement bookkeeping costs a few extra instructions/edge.
+        insert_instr = n_in * (costs.insert_instr_per_edge + 4.0)
+    else:
+        keep_src, keep_dst = s_arr, d_arr
+        stored = n_in
+        insert_instr = n_in * costs.insert_instr_per_edge
+    dpu.charge_balanced(insert_instr)
+    per_tasklet_bytes = stored * costs.edge_bytes / dpu.config.num_tasklets
+    for tk in range(dpu.config.num_tasklets):
+        dpu.charge_mram_write(tk, int(per_tasklet_bytes), requests=1)
+    dpu.mram.store("sample_src", keep_src.astype(np.int32), count_write=False)
+    dpu.mram.store("sample_dst", keep_dst.astype(np.int32), count_write=False)
+    if remap_nodes is not None:
+        dpu.mram.store("remap_table", remap_nodes, count_write=False)
+    return n_in, dpu.compute_seconds()
+
+
 @dataclass
 class _PreparedRun:
     """State handed from the shared sample-creation phase to a count phase."""
 
     clock: SimClock
-    dpus: "object"
+    dpus: DpuSet
     partitioner: ColoringPartitioner
-    partition: "object"
-    sample: "object"
+    partition: EdgePartition
+    sample: UniformSample
     seen: np.ndarray
     capacity: int
     wall_start: float
@@ -238,33 +273,25 @@ class PimTcPipeline:
             )
 
         capacity = self._reservoir_capacity()
-        seen = np.zeros(partitioner.num_dpus, dtype=np.int64)
-        insert_times = []
-        for d, (s_arr, d_arr) in enumerate(partition.per_dpu):
-            dpu = dpus.dpus[d]
-            dpu.reset_charges()
-            n_in = int(s_arr.size)
-            seen[d] = n_in
-            if n_in > capacity:
-                reservoir = EdgeReservoir(capacity, rngs.stream("reservoir", index=d))
-                reservoir.offer_batch(s_arr, d_arr)
-                keep_src, keep_dst = reservoir.edges()
-                stored = int(keep_src.size)
-                # Replacement bookkeeping costs a few extra instructions/edge.
-                insert_instr = n_in * (opts.kernel_costs.insert_instr_per_edge + 4.0)
-            else:
-                keep_src, keep_dst = s_arr, d_arr
-                stored = n_in
-                insert_instr = n_in * opts.kernel_costs.insert_instr_per_edge
-            dpu.charge_balanced(insert_instr)
-            per_tasklet_bytes = stored * edge_bytes / dpu.config.num_tasklets
-            for tk in range(dpu.config.num_tasklets):
-                dpu.charge_mram_write(tk, int(per_tasklet_bytes), requests=1)
-            dpu.mram.store("sample_src", keep_src.astype(np.int32), count_write=False)
-            dpu.mram.store("sample_dst", keep_dst.astype(np.int32), count_write=False)
-            if remap_payload is not None and remap_payload.t > 0:
-                dpu.mram.store("remap_table", remap_payload.nodes, count_write=False)
-            insert_times.append(dpu.compute_seconds())
+        remap_nodes = (
+            remap_payload.nodes
+            if remap_payload is not None and remap_payload.t > 0
+            else None
+        )
+        payloads = [
+            (
+                s_arr,
+                d_arr,
+                capacity,
+                rngs.stream("reservoir", index=d),
+                opts.kernel_costs,
+                remap_nodes,
+            )
+            for d, (s_arr, d_arr) in enumerate(partition.per_dpu)
+        ]
+        inserted = dpus.executor.map_dpus(_insert_sample, dpus.dpus, payloads)
+        seen = np.array([n_in for n_in, _ in inserted], dtype=np.int64)
+        insert_times = [seconds for _, seconds in inserted]
         insert_seconds = cost.launch_latency + (max(insert_times) if insert_times else 0.0)
         clock.advance("sample_creation", insert_seconds)
         dpus.trace.record(

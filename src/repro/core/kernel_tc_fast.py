@@ -224,6 +224,11 @@ class TriangleCountKernel:
 
     Produces ``triangle_count`` (1-element int64) and ``kernel_stats``
     (edges, regions, merge steps charged).
+
+    The kernel is a stateless picklable dataclass and ``run`` depends only on
+    the target DPU's MRAM contents — the contract the process execution
+    engine relies on to ship (kernel, DPU) pairs to workers and merge the
+    mutated DPUs back bit-identically (see ``repro.pimsim.executor``).
     """
 
     num_nodes: int

@@ -4,9 +4,23 @@ Functional execution with analytic timing — see DESIGN.md Sec. 2 for the
 substitution rationale and ``config.CostModel`` for calibration constants.
 """
 
-from .config import DEVKIT_SYSTEM, PAPER_SYSTEM, CostModel, DpuConfig, PimSystemConfig
+from .config import (
+    DEVKIT_SYSTEM,
+    EXECUTOR_NAMES,
+    PAPER_SYSTEM,
+    CostModel,
+    DpuConfig,
+    PimSystemConfig,
+)
 from .dpu import Dpu, DpuRunStats
 from .energy import EnergyModel, EnergyReport
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from .kernel import Kernel, SimClock
 from .mram import Mram
 from .system import DpuSet, PimSystem
@@ -28,6 +42,12 @@ __all__ = [
     "Kernel",
     "SimClock",
     "PimSystem",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EXECUTOR_NAMES",
     "Trace",
     "TraceEvent",
     "render_timeline",

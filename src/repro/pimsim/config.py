@@ -27,7 +27,18 @@ from dataclasses import dataclass, field, replace
 from ..common.errors import ConfigurationError
 from ..common.units import KiB, MiB
 
-__all__ = ["DpuConfig", "CostModel", "PimSystemConfig", "PAPER_SYSTEM", "DEVKIT_SYSTEM"]
+__all__ = [
+    "DpuConfig",
+    "CostModel",
+    "PimSystemConfig",
+    "PAPER_SYSTEM",
+    "DEVKIT_SYSTEM",
+    "EXECUTOR_NAMES",
+]
+
+#: Host-side execution engines for per-DPU kernel runs (see pimsim.executor).
+#: Defined here (not in executor.py) so config stays import-cycle free.
+EXECUTOR_NAMES = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -120,10 +131,23 @@ class PimSystemConfig:
     dpus_per_rank: int = 64
     dpu: DpuConfig = field(default_factory=DpuConfig)
     cost: CostModel = field(default_factory=CostModel)
+    #: Host-side engine running the per-DPU kernel executions: "serial"
+    #: (default, deterministic reference), "thread", or "process".  Changes
+    #: wall-clock only — simulated times and counts are engine-invariant.
+    executor: str = "serial"
+    #: Worker count for the thread/process engines; ``None`` = os.cpu_count().
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1 or self.dpus_per_rank < 1:
             raise ConfigurationError("system must have at least one rank and one DPU")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ConfigurationError(
+                f"executor must be one of {', '.join(EXECUTOR_NAMES)}, "
+                f"got {self.executor!r}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigurationError("jobs must be >= 1 or None")
 
     @property
     def total_dpus(self) -> int:
@@ -132,6 +156,10 @@ class PimSystemConfig:
     def with_cost(self, **overrides) -> "PimSystemConfig":
         """Return a copy with some cost-model constants replaced (sweeps)."""
         return replace(self, cost=replace(self.cost, **overrides))
+
+    def with_executor(self, executor: str, jobs: int | None = None) -> "PimSystemConfig":
+        """Return a copy running launches on a different execution engine."""
+        return replace(self, executor=executor, jobs=jobs)
 
 
 #: The paper's evaluation system: 20 DIMMs x 2 ranks x 64 DPUs = 2560 DPUs.

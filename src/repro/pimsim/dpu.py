@@ -142,6 +142,15 @@ class Dpu:
                 done = budgets[i]
         return float(t)
 
+    def charge_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the per-tasklet (instruction, DMA-seconds) ledgers.
+
+        The executor parity tests compare these across execution engines:
+        a process-engine worker must hand back exactly the vectors a serial
+        run would have accumulated.
+        """
+        return self._instr.copy(), self._dma_seconds.copy()
+
     def run_stats(self) -> DpuRunStats:
         return DpuRunStats(
             instructions=int(self._instr.sum()),

@@ -1,0 +1,276 @@
+"""Pluggable host-side execution engines for the PIM simulator.
+
+The vertex-coloring partition makes every DPU's work independent — no
+inter-DPU communication (paper Sec. 3.1) — so the simulator is free to run
+the ``binom(C+2, 3)`` per-DPU kernel executions on the host however it
+likes: sequentially, on a thread pool, or fanned out to worker processes.
+This module provides that choice behind one interface.
+
+**The determinism contract.**  Choosing an engine changes *wall-clock* time
+only.  Simulated time is ``launch_latency + max`` over per-DPU compute
+seconds, every DPU's functional result and charge ledger depends only on its
+own MRAM contents, and results are always merged back in DPU-ID order — so
+triangle counts, per-phase simulated seconds, charge vectors, and trace
+events are bit-identical across all three engines.  The parity tests in
+``tests/test_pimsim_executor.py`` pin this contract.
+
+Engines:
+
+* :class:`SerialExecutor` — the original in-loop behavior; default, and what
+  tests use.
+* :class:`ThreadExecutor` — a ``ThreadPoolExecutor`` over DPUs.  Python-level
+  code holds the GIL, but the kernels spend most of their time inside
+  NumPy/SciPy ops that release it, so threads already overlap the heavy
+  sparse-matrix work.
+* :class:`ProcessExecutor` — chunks the DPU list into ``jobs`` contiguous
+  batches and ships each batch (kernel + DPU objects) to a
+  ``ProcessPoolExecutor`` worker.  The worker runs the kernel functionally,
+  and the *mutated* DPU objects — MRAM result symbols, instruction/DMA charge
+  vectors, run stats — travel back whole, so the parent merges clocks and
+  traces exactly as if it had run the kernels itself.  Pays pickling +
+  fork overhead; wins when per-DPU kernel work dominates (large samples,
+  large ``C``).  With ``jobs=1`` (or one usable core) it degrades gracefully
+  to the serial path with no pool at all.
+
+Engines are selected via :class:`~repro.pimsim.config.PimSystemConfig`
+(``executor=`` / ``jobs=``), the :class:`~repro.core.api.PimTriangleCounter`
+keyword arguments, or the CLI's ``--executor/--jobs`` flags.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from .config import EXECUTOR_NAMES
+from .dpu import Dpu
+from .kernel import Kernel
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EXECUTOR_NAMES",
+]
+
+#: A per-DPU task: receives one DPU (mutable) and one payload, returns a result.
+DpuTask = Callable[[Dpu, Any], Any]
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _launch_one(dpu: Dpu, kernel: Kernel) -> float:
+    """Run one kernel launch on one DPU and return its compute time."""
+    dpu.reset_charges()
+    kernel.run(dpu)
+    return dpu.compute_seconds()
+
+
+def _run_chunk(
+    fn: DpuTask, dpus: list[Dpu], payloads: list[Any]
+) -> tuple[list[Dpu], list[Any]]:
+    """Worker-process entry point: run ``fn`` over a chunk of DPUs.
+
+    Returns both the results *and* the mutated DPU objects so the parent can
+    splice the post-run state (MRAM symbols, charge ledgers) back into its
+    own DPU list.  Must stay a module-level function: it crosses the process
+    boundary by pickle.
+    """
+    results = [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
+    return dpus, results
+
+
+def _chunk_slices(n: int, parts: int) -> list[slice]:
+    """Split ``range(n)`` into at most ``parts`` contiguous, balanced slices."""
+    parts = max(1, min(parts, n))
+    bounds = np.linspace(0, n, parts + 1).astype(np.int64)
+    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]
+
+
+class Executor:
+    """Common interface of the execution engines.
+
+    The one primitive is :meth:`map_dpus`: apply a per-DPU task to every DPU,
+    preserving any mutation the task makes to the DPU object, and return the
+    task results in DPU order.  :meth:`launch` and :meth:`gather` are the two
+    host operations built on it.
+    """
+
+    name = "abstract"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs) if jobs is not None else _default_jobs()
+
+    # -------------------------------------------------------------- primitive
+    def map_dpus(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn(dpu, payload)`` to every DPU; results in DPU order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- operations
+    def launch(self, kernel: Kernel, dpus: list[Dpu]) -> list[float]:
+        """Run ``kernel`` on every DPU; return per-DPU compute seconds."""
+        return self.map_dpus(_launch_one, dpus, [kernel] * len(dpus))
+
+    def gather(self, dpus: list[Dpu], symbol: str) -> list[np.ndarray]:
+        """Pull one named MRAM buffer from every DPU.
+
+        After a launch the post-run DPU state lives in the parent process for
+        every engine (the process engine merges it back), so a gather is a
+        plain in-memory read; no engine ships it anywhere.
+        """
+        return [dpu.mram.load(symbol, count_read=False) for dpu in dpus]
+
+    def close(self) -> None:
+        """Release any worker pool.  Idempotent; a no-op for poolless engines."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """Run every per-DPU task in the calling thread (the original behavior)."""
+
+    name = "serial"
+
+    def map_dpus(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> list[Any]:
+        return [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
+
+
+class ThreadExecutor(Executor):
+    """Fan per-DPU tasks out to a thread pool.
+
+    DPUs never share state, so in-place mutation from worker threads is safe;
+    results are collected in submission (= DPU) order regardless of thread
+    scheduling, keeping the merge deterministic.
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        super().__init__(jobs)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map_dpus(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> list[Any]:
+        if len(dpus) <= 1 or self.jobs == 1:
+            return [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, dpu, payload) for dpu, payload in zip(dpus, payloads)]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Fan chunked per-DPU batches out to worker processes.
+
+    Each worker receives ``(fn, dpus_chunk, payloads_chunk)`` by pickle, runs
+    the tasks, and returns the results *plus the mutated DPU objects*; the
+    parent splices those DPUs back into the caller's list by position.  Chunk
+    boundaries are a pure function of ``(len(dpus), jobs)`` and merging is by
+    index, so the engine cannot perturb results or the cost model.
+
+    If the platform refuses to give us a process pool (sandboxes without
+    semaphores, for instance), the engine warns once and falls back to serial
+    execution rather than failing the run.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        super().__init__(jobs)
+        self._pool: ProcessPoolExecutor | None = None
+        self._fallback = False
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._fallback:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError, ValueError) as exc:
+                warnings.warn(
+                    f"ProcessExecutor could not start a worker pool ({exc}); "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._fallback = True
+                return None
+        return self._pool
+
+    def map_dpus(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> list[Any]:
+        n = len(dpus)
+        # jobs=1 (or a single DPU) degrades gracefully: no pool, no pickling.
+        if n <= 1 or self.jobs == 1:
+            return [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
+        chunks = _chunk_slices(n, self.jobs)
+        payloads = list(payloads)
+        try:
+            futures = [
+                pool.submit(_run_chunk, fn, dpus[sl], payloads[sl]) for sl in chunks
+            ]
+            merged = [f.result() for f in futures]
+        except Exception:
+            # A broken pool (killed worker, unpicklable payload) is a real
+            # error for the caller to see; just don't leak the pool.
+            self.close()
+            raise
+        results: list[Any] = [None] * n
+        for sl, (chunk_dpus, chunk_results) in zip(chunks, merged):
+            dpus[sl] = chunk_dpus  # splice post-run state back, by position
+            results[sl] = chunk_results
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_ENGINES: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+assert set(_ENGINES) == set(EXECUTOR_NAMES)
+
+
+def make_executor(name: str, jobs: int | None = None) -> Executor:
+    """Build an execution engine by name (``serial`` / ``thread`` / ``process``)."""
+    try:
+        engine = _ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; choose from {', '.join(EXECUTOR_NAMES)}"
+        ) from None
+    return engine(jobs)

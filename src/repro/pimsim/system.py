@@ -4,9 +4,11 @@
 paper's host code uses — ``dpu_alloc``, ``dpu_load``, push/pull transfers and
 ``dpu_launch`` — with every operation charging simulated time to a
 :class:`~repro.pimsim.kernel.SimClock`.  Launches execute each DPU's kernel
-functionally (sequentially in Python) but advance the clock by the *maximum*
-per-DPU compute time, because real DPUs run in parallel and the host waits on
-the slowest one.
+functionally through a pluggable :class:`~repro.pimsim.executor.Executor`
+(serial / thread / process, selected by ``PimSystemConfig.executor``) but
+always advance the clock by the *maximum* per-DPU compute time, because real
+DPUs run in parallel and the host waits on the slowest one — so the engine
+choice changes host wall-clock only, never simulated time.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import numpy as np
 from ..common.errors import KernelLaunchError, PimAllocationError, TransferError
 from .config import PimSystemConfig
 from .dpu import Dpu
+from .executor import Executor, SerialExecutor, make_executor
 from .kernel import Kernel, SimClock
 from .trace import Trace
 from .transfer import TransferModel
@@ -57,7 +60,15 @@ class PimSystem:
         ]
         trace = Trace()
         trace.record("setup", "alloc", alloc_seconds, detail=f"{num_dpus} DPUs / {ranks} ranks")
-        return DpuSet(system=self, dpus=dpus, clock=clock, transfer=transfer, trace=trace)
+        executor = make_executor(self.config.executor, self.config.jobs)
+        return DpuSet(
+            system=self,
+            dpus=dpus,
+            clock=clock,
+            transfer=transfer,
+            trace=trace,
+            executor=executor,
+        )
 
 
 @dataclass
@@ -70,6 +81,7 @@ class DpuSet:
     transfer: TransferModel
     trace: Trace = field(default_factory=Trace)
     kernel: Kernel | None = None
+    executor: Executor = field(default_factory=SerialExecutor)
     _freed: bool = False
 
     def __len__(self) -> int:
@@ -96,15 +108,16 @@ class DpuSet:
         self.kernel = kernel
 
     def launch(self, phase: str = "triangle_count") -> None:
-        """Run the loaded kernel on every DPU; advance clock by the slowest DPU."""
+        """Run the loaded kernel on every DPU; advance clock by the slowest DPU.
+
+        The per-DPU executions go through the configured execution engine;
+        regardless of engine, simulated time is the launch latency plus the
+        *maximum* per-DPU compute time (real DPUs run in parallel).
+        """
         self._check_alive()
         if self.kernel is None:
             raise KernelLaunchError("no kernel loaded")
-        times = []
-        for dpu in self.dpus:
-            dpu.reset_charges()
-            self.kernel.run(dpu)
-            times.append(dpu.compute_seconds())
+        times = self.executor.launch(self.kernel, self.dpus)
         launch_seconds = self.system.config.cost.launch_latency + (max(times) if times else 0.0)
         self.clock.advance(phase, launch_seconds)
         self.trace.record(
@@ -140,7 +153,7 @@ class DpuSet:
     def gather(self, symbol: str, phase: str = "triangle_count") -> list[np.ndarray]:
         """Pull one named buffer back from every DPU."""
         self._check_alive()
-        arrays = [dpu.mram.load(symbol, count_read=False) for dpu in self.dpus]
+        arrays = self.executor.gather(self.dpus, symbol)
         sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
         stats = self.transfer.gather(sizes)
         self.clock.advance(phase, stats.seconds)
@@ -153,5 +166,6 @@ class DpuSet:
         self._check_alive()
         for dpu in self.dpus:
             dpu.mram.free_all()
+        self.executor.close()
         self.trace.record(phase, "free", 0.0, detail=f"{len(self.dpus)} DPUs")
         self._freed = True

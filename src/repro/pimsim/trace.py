@@ -56,6 +56,17 @@ class Trace:
     def kinds(self) -> list[str]:
         return [e.kind for e in self.events]
 
+    def counts_by_kind(self) -> dict[str, int]:
+        """Event totals per operation kind (parity checks across executors)."""
+        totals: dict[str, int] = {}
+        for e in self.events:
+            totals[e.kind] = totals.get(e.kind, 0) + 1
+        return totals
+
+    def merge(self, other: "Trace") -> None:
+        """Append another trace's events (e.g. a sub-run's ledger) in order."""
+        self.events.extend(other.events)
+
     def total_seconds(self, kind: str | None = None) -> float:
         return sum(e.seconds for e in self.events if kind is None or e.kind == kind)
 

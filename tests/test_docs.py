@@ -1,0 +1,50 @@
+"""Documentation stays honest: link integrity and runnable doc examples.
+
+Runs the same checks as CI's docs job (``tools/check_docs.py``) inside the
+tier-1 suite, so a doc-breaking refactor fails locally before CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_doc_files_exist():
+    files = check_docs.doc_files(REPO_ROOT)
+    names = {p.name for p in files}
+    # The four cross-linked pages plus the README must all be present.
+    assert {"README.md", "architecture.md", "algorithm.md", "cost_model.md",
+            "datasets.md"} <= names
+    for path in files:
+        assert path.exists(), path
+
+
+@pytest.mark.parametrize("path", check_docs.doc_files(REPO_ROOT),
+                         ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path):
+    assert check_docs.check_links(path, REPO_ROOT) == []
+
+
+@pytest.mark.parametrize("path", check_docs.doc_files(REPO_ROOT),
+                         ids=lambda p: p.name)
+def test_doc_doctests_pass(path):
+    assert check_docs.check_doctests(path, REPO_ROOT) == []
+
+
+def test_architecture_has_doctest_coverage():
+    """architecture.md ships at least one executable example."""
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    blocks = [
+        src
+        for lang, _, src in check_docs.iter_code_blocks(text)
+        if lang in ("python", "pycon", "py") and ">>>" in src
+    ]
+    assert blocks, "architecture.md should contain a doctest block"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Documentation checks: intra-repo markdown links and doc doctests.
+
+Run from anywhere inside the repo::
+
+    python tools/check_docs.py
+
+Two checks over ``README.md`` and ``docs/*.md`` (CI's docs job runs both;
+``tests/test_docs.py`` runs them in the tier-1 suite):
+
+1. **Link check** — every relative markdown link ``[text](target)`` must
+   resolve to a file or directory in the repo (``#anchor`` suffixes are
+   stripped; ``http(s):``/``mailto:`` targets are skipped).
+2. **Doctests** — every fenced ``python`` code block containing ``>>>``
+   prompts is executed with :mod:`doctest`.  Blocks without prompts are
+   illustrative and skipped.
+
+Exit code 0 when everything passes; 1 with a per-finding report otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — excluding images; target captured up to the first ``)``.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path = REPO_ROOT) -> list[Path]:
+    return [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+
+
+def iter_code_blocks(text: str):
+    """Yield ``(language, start_line, source)`` for each fenced code block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE_RE.match(lines[i])
+        if match:
+            lang = match.group(1).lower()
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            yield lang, start, "\n".join(body)
+        i += 1
+
+
+def check_links(path: Path, root: Path = REPO_ROOT) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}:{lineno}: broken link -> {target}"
+                )
+    return errors
+
+
+def check_doctests(path: Path, root: Path = REPO_ROOT) -> list[str]:
+    """Run doctest over each python code block of ``path`` that has prompts."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    parser = doctest.DocTestParser()
+    for lang, start, source in iter_code_blocks(text):
+        if lang not in ("python", "pycon", "py") or ">>>" not in source:
+            continue
+        name = f"{path.relative_to(root)}:{start}"
+        test = parser.get_doctest(source, {}, name, str(path), start)
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            errors.append(f"{name}: {result.failed} doctest failure(s)")
+    return errors
+
+
+def main() -> int:
+    link_errors: list[str] = []
+    doctest_errors: list[str] = []
+    files = doc_files()
+    for path in files:
+        if not path.exists():
+            link_errors.append(f"missing documentation file: {path}")
+            continue
+        link_errors.extend(check_links(path))
+        doctest_errors.extend(check_doctests(path))
+    for err in link_errors + doctest_errors:
+        print(f"FAIL {err}")
+    if link_errors or doctest_errors:
+        return 1
+    print(f"docs ok: {len(files)} files, links resolved, doctests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
