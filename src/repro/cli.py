@@ -12,6 +12,7 @@ Examples::
     repro-count dataset:orkut --tier small --uniform-p 0.1 --trials 5
     repro-count dataset:wikipedia --local --top 10
     repro-count dataset:orkut --colors 8 --executor process --jobs 4
+    repro-count --fuzz 25 --seed 7     # seeded correctness fuzzing, no graph
 """
 
 from __future__ import annotations
@@ -65,9 +66,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "graph",
+        nargs="?",
+        default=None,
         help=(
             "edge-list file (.el/.txt), SuiteSparse .mtx, cached .npz, or "
-            f"dataset:<name> with name in {{{', '.join(DATASET_NAMES)}}}"
+            f"dataset:<name> with name in {{{', '.join(DATASET_NAMES)}}}; "
+            "optional with --fuzz/--verify"
         ),
     )
     parser.add_argument("--tier", default="small", choices=("tiny", "small", "bench"),
@@ -95,11 +99,23 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: all cores)")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
+    parser.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="run N seeded fuzz iterations of the correctness "
+                             "harness (differential grid + metamorphic "
+                             "relations; see docs/testing.md) and exit; "
+                             "iteration seeds are --seed .. --seed+N-1")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.fuzz is not None:
+        from .testing.fuzz import run_fuzz
+
+        report = run_fuzz(args.fuzz, seed=args.seed, verbose=True)
+        print(report.summary())
+        return 0 if report.ok else 1
     if args.verify:
         from .verify import verify_installation
 
@@ -107,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
         if not all(c.passed for c in checks):
             print("self-verification FAILED")
             return 1
+        if args.graph is None:
+            return 0
+    if args.graph is None:
+        parser.error("a graph argument is required unless --fuzz or --verify is given")
     graph = _load_graph(args.graph, args.tier)
     mg_k, mg_t = args.misra_gries
     print(f"graph: {graph.name} — {graph.num_nodes} nodes, {graph.num_edges} edges")

@@ -1,0 +1,168 @@
+"""Seeded fuzz driver over the full correctness harness.
+
+One fuzz *iteration* is fully determined by a single integer seed: it draws a
+:class:`~repro.testing.strategies.GraphCase`, runs the differential grid
+(:mod:`repro.testing.differential`) and every metamorphic relation
+(:mod:`repro.testing.metamorphic`) on it, and reports any violation.  A run
+of ``budget`` iterations with base seed ``s`` uses iteration seeds
+``s, s+1, ..., s+budget-1`` — so a failure at iteration ``i`` names seed
+``s+i`` and is reproduced, alone, by::
+
+    repro-count --fuzz 1 --seed <printed seed>
+
+or ``run_fuzz(1, seed=<printed seed>)`` from Python.  That reproduction
+contract is pinned by ``tests/test_testing_fuzz.py``.
+
+Entry points: the CLI (``repro-count --fuzz N``), the installation
+self-check (:func:`repro.verify.verify_installation` runs a small budget),
+and CI's ``fuzz-smoke`` job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..common.rng import RngFactory
+from .differential import DifferentialRunner
+from .metamorphic import ALL_RELATIONS, MetamorphicRelation
+from .strategies import GraphCase, sample_case
+
+__all__ = ["FuzzFailure", "FuzzReport", "fuzz_iteration", "run_fuzz"]
+
+#: A checker takes (case, per-iteration RngFactory) and returns failure strings.
+Checker = Callable[[GraphCase, RngFactory], list[str]]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failed iteration, with everything needed to reproduce it."""
+
+    iteration: int
+    seed: int
+    family: str
+    case_repr: str
+    messages: tuple[str, ...]
+
+    @property
+    def repro_command(self) -> str:
+        return f"repro-count --fuzz 1 --seed {self.seed}"
+
+    def __str__(self) -> str:
+        lines = [
+            f"fuzz iteration {self.iteration} FAILED (seed={self.seed}, "
+            f"family={self.family}) — reproduce with: {self.repro_command}",
+            f"  case: {self.case_repr}",
+        ]
+        lines += [f"  - {m}" for m in self.messages]
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    budget: int
+    base_seed: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+    cases_by_family: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        families = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.cases_by_family.items())
+        )
+        status = "all ok" if self.ok else f"{len(self.failures)} FAILED"
+        return (
+            f"fuzz: {self.budget} iterations (seeds {self.base_seed}.."
+            f"{self.base_seed + self.budget - 1}), {status}; cases: {families}"
+        )
+
+    def render(self) -> str:
+        parts = [self.summary()]
+        parts += [str(f) for f in self.failures]
+        return "\n".join(parts)
+
+
+# ------------------------------------------------------------------- checkers
+def differential_checker(runner: DifferentialRunner | None = None) -> Checker:
+    """Checker running the differential grid (truth = construction if known)."""
+
+    def check(case: GraphCase, rngs: RngFactory) -> list[str]:
+        r = runner or DifferentialRunner(seed=rngs.seed)
+        report = r.run(case.graph, expected=case.exact)
+        return [f"differential: {msg}" for msg in report.failures]
+
+    return check
+
+
+def metamorphic_checker(
+    relations: Sequence[MetamorphicRelation] = ALL_RELATIONS,
+) -> Checker:
+    """Checker applying every metamorphic relation with a derived stream."""
+
+    def check(case: GraphCase, rngs: RngFactory) -> list[str]:
+        failures = []
+        for relation in relations:
+            result = relation.check(case.graph, rngs.stream(f"mr/{relation.name}"))
+            if not result.ok:
+                failures.append(f"metamorphic {relation.name}: {result.detail}")
+        return failures
+
+    return check
+
+
+def default_checkers() -> list[Checker]:
+    return [differential_checker(), metamorphic_checker()]
+
+
+# ------------------------------------------------------------------ execution
+def fuzz_iteration(
+    iter_seed: int, checkers: Sequence[Checker] | None = None
+) -> tuple[GraphCase, list[str]]:
+    """Run one fully seeded iteration; returns (case, failure messages)."""
+    rngs = RngFactory(iter_seed)
+    case = sample_case(rngs.stream("case"))
+    messages: list[str] = []
+    for checker in checkers if checkers is not None else default_checkers():
+        messages.extend(checker(case, rngs))
+    return case, messages
+
+
+def run_fuzz(
+    budget: int,
+    seed: int = 0,
+    *,
+    checkers: Sequence[Checker] | None = None,
+    verbose: bool = False,
+    fail_fast: bool = False,
+) -> FuzzReport:
+    """Run ``budget`` iterations with iteration seeds ``seed .. seed+budget-1``."""
+    if budget < 1:
+        raise ValueError("fuzz budget must be >= 1")
+    report = FuzzReport(budget=budget, base_seed=seed)
+    for i in range(budget):
+        iter_seed = seed + i
+        case, messages = fuzz_iteration(iter_seed, checkers)
+        report.cases_by_family[case.family] = (
+            report.cases_by_family.get(case.family, 0) + 1
+        )
+        if messages:
+            failure = FuzzFailure(
+                iteration=i,
+                seed=iter_seed,
+                family=case.family,
+                case_repr=repr(case),
+                messages=tuple(messages),
+            )
+            report.failures.append(failure)
+            if verbose:
+                print(str(failure))
+            if fail_fast:
+                break
+        elif verbose:
+            print(f"[ok ] fuzz seed={iter_seed} {case!r}")
+    return report

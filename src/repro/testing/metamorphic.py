@@ -1,0 +1,182 @@
+"""Metamorphic relations of triangle counting, as first-class checkables.
+
+A metamorphic relation states how the triangle count must respond to a
+structured transformation of the input — without knowing the count itself.
+They catch bugs that point tests cannot: a counter that is wrong *and*
+self-consistent on a fixed graph still violates, e.g., relabel invariance.
+
+Relations shipped here (all provable from the definitions):
+
+* **node-relabel invariance** — triangle count is a graph invariant; any
+  permutation of node IDs preserves it.  Exercises the ID-ordered
+  orientation, the region index and the coloring hash.
+* **disjoint-union additivity** — ``T(G ⊔ H) = T(G) + T(H)``; a triangle
+  cannot straddle components.
+* **edge-orientation invariance** — flipping the stored ``(u, v)`` direction
+  of arbitrary edges changes nothing: the graph is undirected.
+* **color-count invariance** — the corrected total of the coloring partition
+  (Sec. 3.1 + monochromatic correction) is *exact* for every ``C``, so it
+  cannot depend on ``C``.
+* **remap count-preservation** — any injective remap of node IDs into a
+  fresh top range (the Misra-Gries optimization, Sec. 3.5) is a bijection on
+  the touched IDs and preserves the count.
+
+Each relation is a :class:`MetamorphicRelation` whose ``check`` returns a
+:class:`RelationResult`; the fuzz driver (:mod:`repro.testing.fuzz`) and the
+property tests iterate :data:`ALL_RELATIONS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..coloring.partition import ColoringPartitioner
+from ..core.remap import RemapTable, apply_remap
+from ..graph.coo import COOGraph
+from ..graph.triangles import count_triangles
+from ..streaming.estimators import combine_dpu_counts
+
+__all__ = [
+    "RelationResult",
+    "MetamorphicRelation",
+    "ALL_RELATIONS",
+    "RELATION_NAMES",
+    "check_all_relations",
+]
+
+
+@dataclass(frozen=True)
+class RelationResult:
+    """Outcome of applying one relation to one graph."""
+
+    relation: str
+    ok: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class MetamorphicRelation:
+    """A named, reusable relation ``check(graph, rng) -> RelationResult``."""
+
+    name: str
+    description: str
+    check_fn: Callable[[COOGraph, np.random.Generator], tuple[bool, str]]
+
+    def check(self, graph: COOGraph, rng: np.random.Generator) -> RelationResult:
+        ok, detail = self.check_fn(graph, rng)
+        return RelationResult(relation=self.name, ok=ok, detail=detail)
+
+
+# ------------------------------------------------------------------- relations
+def _relabel_invariance(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    base = count_triangles(graph)
+    perm = rng.permutation(graph.num_nodes).astype(np.int64)
+    relabeled = COOGraph(
+        src=perm[graph.src], dst=perm[graph.dst], num_nodes=graph.num_nodes
+    ).canonicalize()
+    got = count_triangles(relabeled)
+    return got == base, f"T(G)={base}, T(perm(G))={got}"
+
+
+def _union_additivity(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    base = count_triangles(graph)
+    # Second component: a shifted copy of the graph itself (IDs disjoint).
+    shift = graph.num_nodes
+    union = COOGraph(
+        src=np.concatenate([graph.src, graph.src + shift]),
+        dst=np.concatenate([graph.dst, graph.dst + shift]),
+        num_nodes=2 * shift,
+    )
+    got = count_triangles(union)
+    return got == 2 * base, f"T(G)={base}, T(G ⊔ G')={got} (want {2 * base})"
+
+
+def _orientation_invariance(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    base = count_triangles(graph)
+    flip = rng.random(graph.num_edges) < 0.5
+    src = np.where(flip, graph.dst, graph.src)
+    dst = np.where(flip, graph.src, graph.dst)
+    flipped = COOGraph(src=src, dst=dst, num_nodes=graph.num_nodes).canonicalize()
+    got = count_triangles(flipped)
+    return got == base, f"T(G)={base}, T(flip(G))={got} ({int(flip.sum())} edges flipped)"
+
+
+def _color_count_invariance(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    truth = count_triangles(graph)
+    totals = []
+    for c in (1, 2, 3, 5):
+        partitioner = ColoringPartitioner(c, np.random.default_rng(rng.integers(2**32)))
+        partition = partitioner.assign(graph)
+        counts = np.array(
+            [
+                count_triangles(COOGraph(s.copy(), d.copy(), graph.num_nodes))
+                for s, d in partition.per_dpu
+            ],
+            dtype=np.float64,
+        )
+        total = combine_dpu_counts(
+            counts,
+            np.ones_like(counts),
+            partitioner.mono_mask(),
+            num_colors=c,
+        )
+        totals.append(total)
+    ok = all(t == truth for t in totals)
+    return ok, f"truth={truth}, corrected totals per C∈(1,2,3,5): {totals}"
+
+
+def _remap_preservation(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    base = count_triangles(graph)
+    if graph.num_nodes == 0:
+        return True, "empty graph, nothing to remap"
+    t = int(rng.integers(1, min(graph.num_nodes, 8) + 1))
+    nodes = rng.choice(graph.num_nodes, size=t, replace=False).astype(np.int64)
+    table = RemapTable(nodes=nodes, num_nodes=graph.num_nodes)
+    src, dst = apply_remap(table, graph.src, graph.dst)
+    remapped = COOGraph(src=src, dst=dst, num_nodes=table.remapped_num_nodes)
+    got = count_triangles(remapped)
+    return got == base, f"T(G)={base}, T(remap(G))={got} (t={t})"
+
+
+ALL_RELATIONS: tuple[MetamorphicRelation, ...] = (
+    MetamorphicRelation(
+        "relabel-invariance",
+        "any permutation of node IDs preserves the triangle count",
+        _relabel_invariance,
+    ),
+    MetamorphicRelation(
+        "union-additivity",
+        "the count of a disjoint union is the sum of the parts' counts",
+        _union_additivity,
+    ),
+    MetamorphicRelation(
+        "orientation-invariance",
+        "flipping the stored direction of any edges preserves the count",
+        _orientation_invariance,
+    ),
+    MetamorphicRelation(
+        "color-count-invariance",
+        "the monochromatic-corrected partition total is exact for every C",
+        _color_count_invariance,
+    ),
+    MetamorphicRelation(
+        "remap-preservation",
+        "the Misra-Gries top-t ID remap is a bijection and preserves the count",
+        _remap_preservation,
+    ),
+)
+
+RELATION_NAMES: tuple[str, ...] = tuple(r.name for r in ALL_RELATIONS)
+
+
+def check_all_relations(
+    graph: COOGraph, rng: np.random.Generator
+) -> list[RelationResult]:
+    """Apply every shipped relation to ``graph``; one result per relation."""
+    return [relation.check(graph, rng) for relation in ALL_RELATIONS]

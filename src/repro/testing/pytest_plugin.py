@@ -1,0 +1,62 @@
+"""Pytest fixtures exposing the correctness harness to test suites.
+
+Import-star this module from a ``conftest.py`` to get the fixtures::
+
+    from repro.testing.pytest_plugin import *  # noqa: F401,F403
+
+Fixtures
+--------
+``graph_case``
+    Parametrized over every fuzz family: each test using it runs once per
+    family on a deterministic representative case.
+``fuzz_rngs``
+    A fresh :class:`~repro.common.rng.RngFactory` with a fixed root seed.
+``differential_runner``
+    A shared :class:`~repro.testing.differential.DifferentialRunner` covering
+    the full kernel × executor × baseline grid.
+``metamorphic_relations``
+    The tuple of shipped metamorphic relations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from ..common.rng import RngFactory, derive_seed
+from .differential import DifferentialRunner
+from .metamorphic import ALL_RELATIONS, MetamorphicRelation
+from .strategies import FAMILY_NAMES, GraphCase, make_case
+
+__all__ = [
+    "graph_case",
+    "fuzz_rngs",
+    "differential_runner",
+    "metamorphic_relations",
+]
+
+#: Root seed of the fixture-provided cases; change to re-roll every fixture.
+_FIXTURE_SEED = 20250806
+
+
+@pytest.fixture(params=FAMILY_NAMES)
+def graph_case(request) -> GraphCase:
+    """One deterministic representative case per fuzz family."""
+    family = request.param
+    rng = np.random.default_rng(derive_seed(_FIXTURE_SEED, f"case/{family}"))
+    return make_case(family, rng)
+
+
+@pytest.fixture
+def fuzz_rngs() -> RngFactory:
+    return RngFactory(_FIXTURE_SEED)
+
+
+@pytest.fixture(scope="session")
+def differential_runner() -> DifferentialRunner:
+    return DifferentialRunner()
+
+
+@pytest.fixture(scope="session")
+def metamorphic_relations() -> tuple[MetamorphicRelation, ...]:
+    return ALL_RELATIONS

@@ -1,0 +1,302 @@
+"""Graph strategies and fuzzers for the correctness harness.
+
+Every fuzz iteration and property test starts from a :class:`GraphCase`: a
+graph plus, where the construction permits, its *known-by-construction* exact
+triangle count.  Families cover the shapes that historically break triangle
+counters:
+
+* ``gnp`` — Erdős–Rényi G(n, m); count unknown, checked by cross-reference.
+* ``powerlaw`` — configuration-model graph with a power-law degree sequence
+  (the hub-heavy regime of the paper's Fig. 3 / Misra-Gries path).
+* ``planted`` — ``k`` node-disjoint triangles scattered over a larger ID
+  space (isolated nodes included); exactly ``k`` triangles by construction.
+* ``adversarial`` — a planted case re-emitted as a messy raw stream with
+  self-loops, duplicate and reversed edges, exercising canonicalization.
+* ``star`` — one hub, many leaves: zero triangles, maximal degree skew.
+* ``clique`` — ``K_n``: ``binom(n, 3)`` triangles, maximal density.
+* ``clique_star`` — disjoint clique + star: known count with mixed shape.
+* ``degenerate`` — empty graphs and single edges.
+
+All constructions are deterministic in the supplied NumPy generator, so a
+fuzz failure is reproducible from its seed alone (see
+:mod:`repro.testing.fuzz`).  Hypothesis strategies over the same families are
+provided for property tests (`graph_cases`, `edge_list_strategy`,
+`graph_strategy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..graph.coo import COOGraph
+from ..graph.generators import (
+    configuration_model,
+    erdos_renyi,
+    powerlaw_degree_sequence,
+)
+from ..graph.triangles import count_triangles
+
+__all__ = [
+    "GraphCase",
+    "CASE_FAMILIES",
+    "FAMILY_NAMES",
+    "make_case",
+    "sample_case",
+    "planted_triangles",
+    "adversarial_stream",
+    "graph_cases",
+    "edge_list_strategy",
+    "graph_strategy",
+]
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One fuzzer-generated input: a graph and what we know about it.
+
+    Attributes
+    ----------
+    family:
+        Name of the generating family (key into :data:`CASE_FAMILIES`).
+    graph:
+        The canonicalized graph every checker consumes.
+    raw:
+        The pre-canonicalization edge stream (may contain self-loops and
+        duplicates for the ``adversarial`` family; equals ``graph`` otherwise).
+    exact:
+        Triangle count known *by construction*, or ``None`` when the family
+        cannot know it (then checkers fall back to oracle cross-agreement).
+    params:
+        Generation parameters, for failure reports.
+    """
+
+    family: str
+    graph: COOGraph
+    raw: COOGraph
+    exact: int | None = None
+    params: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> tuple:
+        """Cheap structural identity used to assert seed-reproducibility."""
+        g = self.graph
+        return (
+            self.family,
+            g.num_nodes,
+            g.num_edges,
+            int(g.src.sum()),
+            int(g.dst.sum()),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphCase({self.family!r}, n={self.graph.num_nodes}, "
+            f"m={self.graph.num_edges}, exact={self.exact}, params={self.params})"
+        )
+
+
+# --------------------------------------------------------------- constructions
+def planted_triangles(
+    num_triangles: int,
+    num_nodes: int,
+    rng: np.random.Generator,
+    name: str = "planted",
+) -> COOGraph:
+    """``k`` node-disjoint triangles on random distinct IDs in ``[0, n)``.
+
+    Needs ``n >= 3k``; the leftover IDs stay isolated, so the triangle count
+    is exactly ``k`` whatever the ID placement.
+    """
+    if num_nodes < 3 * num_triangles:
+        raise ValueError("planted_triangles needs num_nodes >= 3 * num_triangles")
+    nodes = rng.choice(num_nodes, size=3 * num_triangles, replace=False).astype(np.int64)
+    corners = nodes.reshape(num_triangles, 3)
+    src = np.concatenate([corners[:, 0], corners[:, 1], corners[:, 0]])
+    dst = np.concatenate([corners[:, 1], corners[:, 2], corners[:, 2]])
+    return COOGraph(src=src, dst=dst, num_nodes=num_nodes, name=name)
+
+
+def adversarial_stream(base: COOGraph, rng: np.random.Generator) -> COOGraph:
+    """Re-emit ``base`` as a hostile raw stream: dupes, reversals, self-loops.
+
+    Canonicalizing the result must recover exactly ``base``'s triangle count —
+    the paper's preprocessing contract (Sec. 4.1).
+    """
+    copies = int(rng.integers(2, 4))
+    src = [np.tile(base.src, copies), np.tile(base.dst, copies)]  # both orientations
+    dst = [np.tile(base.dst, copies), np.tile(base.src, copies)]
+    num_loops = int(rng.integers(1, 6))
+    loops = rng.integers(0, base.num_nodes, size=num_loops).astype(np.int64)
+    src.append(loops)
+    dst.append(loops)
+    s = np.concatenate(src)
+    d = np.concatenate(dst)
+    perm = rng.permutation(s.size)
+    return COOGraph(src=s[perm], dst=d[perm], num_nodes=base.num_nodes, name="adversarial")
+
+
+# --------------------------------------------------------------- case families
+def _gnp_case(rng: np.random.Generator) -> GraphCase:
+    n = int(rng.integers(8, 80))
+    max_m = n * (n - 1) // 2
+    m = int(rng.integers(1, min(max_m, 5 * n) + 1))
+    g = erdos_renyi(n, m, rng, name="gnp").canonicalize()
+    return GraphCase("gnp", g, g, exact=None, params={"n": n, "m": m})
+
+
+def _powerlaw_case(rng: np.random.Generator) -> GraphCase:
+    n = int(rng.integers(10, 70))
+    exponent = float(rng.uniform(1.8, 3.0))
+    degrees = powerlaw_degree_sequence(n, exponent, rng, min_degree=1)
+    g = configuration_model(degrees, rng, name="powerlaw").canonicalize()
+    return GraphCase(
+        "powerlaw", g, g, exact=None, params={"n": n, "exponent": round(exponent, 3)}
+    )
+
+
+def _planted_case(rng: np.random.Generator) -> GraphCase:
+    k = int(rng.integers(1, 12))
+    n = int(rng.integers(3 * k, 3 * k + 40))
+    raw = planted_triangles(k, n, rng)
+    g = raw.canonicalize()
+    return GraphCase("planted", g, raw, exact=k, params={"k": k, "n": n})
+
+
+def _adversarial_case(rng: np.random.Generator) -> GraphCase:
+    k = int(rng.integers(1, 8))
+    n = int(rng.integers(3 * k, 3 * k + 25))
+    base = planted_triangles(k, n, rng)
+    raw = adversarial_stream(base, rng)
+    g = raw.canonicalize()
+    return GraphCase("adversarial", g, raw, exact=k, params={"k": k, "n": n})
+
+
+def _star_case(rng: np.random.Generator) -> GraphCase:
+    leaves = int(rng.integers(2, 60))
+    g = COOGraph(
+        src=np.zeros(leaves, dtype=np.int64),
+        dst=np.arange(1, leaves + 1, dtype=np.int64),
+        num_nodes=leaves + 1,
+        name="star",
+    ).canonicalize()
+    return GraphCase("star", g, g, exact=0, params={"leaves": leaves})
+
+
+def _clique_edges(n: int, offset: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    iu, iv = np.triu_indices(n, k=1)
+    return iu.astype(np.int64) + offset, iv.astype(np.int64) + offset
+
+
+def _clique_case(rng: np.random.Generator) -> GraphCase:
+    n = int(rng.integers(3, 14))
+    src, dst = _clique_edges(n)
+    g = COOGraph(src=src, dst=dst, num_nodes=n, name="clique").canonicalize()
+    exact = n * (n - 1) * (n - 2) // 6
+    return GraphCase("clique", g, g, exact=exact, params={"n": n})
+
+
+def _clique_star_case(rng: np.random.Generator) -> GraphCase:
+    n = int(rng.integers(3, 10))
+    leaves = int(rng.integers(2, 30))
+    csrc, cdst = _clique_edges(n)
+    hub = n
+    ssrc = np.full(leaves, hub, dtype=np.int64)
+    sdst = np.arange(hub + 1, hub + 1 + leaves, dtype=np.int64)
+    g = COOGraph(
+        src=np.concatenate([csrc, ssrc]),
+        dst=np.concatenate([cdst, sdst]),
+        num_nodes=hub + 1 + leaves,
+        name="clique_star",
+    ).canonicalize()
+    exact = n * (n - 1) * (n - 2) // 6
+    return GraphCase("clique_star", g, g, exact=exact, params={"n": n, "leaves": leaves})
+
+
+def _degenerate_case(rng: np.random.Generator) -> GraphCase:
+    if rng.random() < 0.5:
+        n = int(rng.integers(0, 8))
+        g = COOGraph(
+            src=np.empty(0, dtype=np.int64),
+            dst=np.empty(0, dtype=np.int64),
+            num_nodes=n,
+            name="empty",
+        )
+        return GraphCase("degenerate", g, g, exact=0, params={"shape": "empty", "n": n})
+    g = COOGraph(
+        src=np.array([0], dtype=np.int64),
+        dst=np.array([1], dtype=np.int64),
+        num_nodes=2,
+        name="single_edge",
+    )
+    return GraphCase("degenerate", g, g, exact=0, params={"shape": "single_edge"})
+
+
+#: Registry of fuzz families; each maps a generator to a :class:`GraphCase`.
+CASE_FAMILIES: dict[str, Callable[[np.random.Generator], GraphCase]] = {
+    "gnp": _gnp_case,
+    "powerlaw": _powerlaw_case,
+    "planted": _planted_case,
+    "adversarial": _adversarial_case,
+    "star": _star_case,
+    "clique": _clique_case,
+    "clique_star": _clique_star_case,
+    "degenerate": _degenerate_case,
+}
+
+FAMILY_NAMES: tuple[str, ...] = tuple(CASE_FAMILIES)
+
+
+def make_case(family: str, rng: np.random.Generator) -> GraphCase:
+    """Build one case of the named family, checking the exact-count invariant."""
+    case = CASE_FAMILIES[family](rng)
+    if case.exact is not None:
+        actual = count_triangles(case.graph)
+        if actual != case.exact:
+            raise AssertionError(
+                f"strategy bug: family {family!r} promised {case.exact} triangles "
+                f"but built {actual} ({case!r})"
+            )
+    return case
+
+
+def sample_case(rng: np.random.Generator, families: tuple[str, ...] = FAMILY_NAMES) -> GraphCase:
+    """Draw a family uniformly, then a case of that family."""
+    family = families[int(rng.integers(0, len(families)))]
+    return make_case(family, rng)
+
+
+# -------------------------------------------------------- hypothesis strategies
+def edge_list_strategy(max_nodes: int = 30, max_edges: int = 120):
+    """Hypothesis strategy producing a random (possibly messy) edge list."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=2, max_value=max_nodes).flatmap(
+        lambda n: st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=0,
+            max_size=max_edges,
+        ).map(lambda edges: COOGraph.from_edges(edges, num_nodes=n))
+    )
+
+
+def graph_strategy(max_nodes: int = 30, max_edges: int = 120):
+    """Canonicalized random graphs."""
+    return edge_list_strategy(max_nodes, max_edges).map(lambda g: g.canonicalize())
+
+
+def graph_cases(families: tuple[str, ...] = FAMILY_NAMES):
+    """Hypothesis strategy over :class:`GraphCase` drawn from the fuzz families.
+
+    Cases are derived from an integer seed, so every shrunk counterexample is
+    reproducible outside hypothesis via ``make_case(family, default_rng(seed))``.
+    """
+    from hypothesis import strategies as st
+
+    return st.tuples(
+        st.sampled_from(families), st.integers(min_value=0, max_value=2**32 - 1)
+    ).map(lambda fs: make_case(fs[0], np.random.default_rng(fs[1])))

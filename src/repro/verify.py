@@ -9,10 +9,16 @@ any number the library produces:
 3. the reference tasklet kernel, the vectorized kernel, and the probe kernel
    agree, and the full PIM pipeline returns the oracle's count;
 4. the remap is count-preserving;
-5. the samplers' estimators land near the truth;
-6. local counts sum to three times the global count.
+5. the samplers' estimators pass a seed-sweep statistical acceptance test
+   (Chebyshev bound with an explicit failure probability — see
+   :mod:`repro.testing.statistical`);
+6. local counts sum to three times the global count;
+7. a small budget of the seeded correctness fuzzer
+   (:mod:`repro.testing.fuzz`) finds no differential or metamorphic
+   violation.
 
-Also exposed as ``repro-count --verify``.
+Also exposed as ``repro-count --verify`` (and the fuzzer alone, with a
+bigger budget, as ``repro-count --fuzz N``).
 """
 
 from __future__ import annotations
@@ -39,8 +45,15 @@ def _check(name: str, fn) -> CheckResult:
         return CheckResult(name=name, passed=False, detail=str(exc))
 
 
-def verify_installation(seed: int = 0, verbose: bool = False) -> list[CheckResult]:
-    """Run all invariant checks; returns one :class:`CheckResult` per pillar."""
+def verify_installation(
+    seed: int = 0, verbose: bool = False, fuzz_budget: int = 3
+) -> list[CheckResult]:
+    """Run all invariant checks; returns one :class:`CheckResult` per pillar.
+
+    ``fuzz_budget`` controls how many seeded fuzz iterations the last pillar
+    spends (each runs the full differential grid plus every metamorphic
+    relation on one generated graph).
+    """
     from .baselines.reference import count_triangles_dense
     from .coloring.partition import ColoringPartitioner
     from .common.rng import RngFactory
@@ -95,14 +108,28 @@ def verify_installation(seed: int = 0, verbose: bool = False) -> list[CheckResul
         return "bijection count-preserving"
 
     def sampler_check():
-        uni = PimTriangleCounter(num_colors=4, seed=seed, uniform_p=0.5).count(graph)
-        res = PimTriangleCounter(
-            num_colors=4, seed=seed, reservoir_capacity=max(3, graph.num_edges // 6)
-        ).count(graph)
-        for label, est in (("uniform", uni.estimate), ("reservoir", res.estimate)):
-            err = abs(est - truth) / truth
-            assert err < 0.6, f"{label} estimator wildly off: {err:.1%}"
-        return "estimators within tolerance"
+        # Seed-sweep acceptance (repro.testing.statistical): a small sweep per
+        # sampler, judged by a Chebyshev interval with explicit failure
+        # probability.  On failure the AssertionError carries the observed
+        # relative error and the seed range, so CheckResult.detail names both.
+        from .testing.statistical import sweep_reservoir, sweep_uniform
+
+        uni = sweep_uniform(
+            graph, 0.5, n_seeds=8, delta=0.05, num_colors=4, first_seed=seed
+        ).require()
+        res = sweep_reservoir(
+            graph,
+            capacity=max(3, graph.num_edges // 6),
+            n_seeds=8,
+            delta=0.05,
+            num_colors=4,
+            first_seed=seed,
+        ).require()
+        return (
+            f"uniform rel_err={uni.relative_mean_error:.2%}, "
+            f"reservoir rel_err={res.relative_mean_error:.2%} "
+            f"(seeds {seed}..{seed + 7}, Chebyshev delta=0.05)"
+        )
 
     def local_check():
         local = count_triangles_per_node(graph)
@@ -111,6 +138,13 @@ def verify_installation(seed: int = 0, verbose: bool = False) -> list[CheckResul
         assert np.array_equal(result.local_counts(), local)
         return "local sums == 3T, pipeline exact"
 
+    def fuzz_check():
+        from .testing.fuzz import run_fuzz
+
+        report = run_fuzz(fuzz_budget, seed=seed)
+        assert report.ok, report.render()
+        return report.summary()
+
     checks = [
         _check("oracle vs independent references", oracle_check),
         _check("coloring partition + mono correction", partition_check),
@@ -118,6 +152,7 @@ def verify_installation(seed: int = 0, verbose: bool = False) -> list[CheckResul
         _check("Misra-Gries remap bijection", remap_check),
         _check("sampling estimators", sampler_check),
         _check("local triangle counting", local_check),
+        _check("differential + metamorphic fuzz", fuzz_check),
     ]
     if verbose:
         for c in checks:

@@ -1,14 +1,26 @@
-"""Shared fixtures and hypothesis strategies for the repro test suite."""
+"""Shared fixtures and hypothesis strategies for the repro test suite.
+
+The heavy lifting lives in :mod:`repro.testing` — the reusable correctness
+harness — whose pytest fixtures are star-imported below; this file only adds
+a few repo-local conveniences.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import strategies as st
 
 from repro.common.rng import RngFactory
 from repro.graph.coo import COOGraph
 from repro.graph.generators import erdos_renyi
+
+# Harness fixtures: graph_case, fuzz_rngs, differential_runner,
+# metamorphic_relations.
+from repro.testing.pytest_plugin import *  # noqa: F401,F403
+
+# Strategies moved into the library so downstream users get them too; tests
+# keep importing them from conftest.
+from repro.testing.strategies import edge_list_strategy, graph_strategy  # noqa: F401
 
 
 @pytest.fixture
@@ -31,23 +43,3 @@ def small_graph(rng) -> COOGraph:
 def triangle_graph() -> COOGraph:
     """The smallest interesting graph: a single triangle plus a pendant edge."""
     return COOGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], num_nodes=4)
-
-
-# ---------------------------------------------------------------- strategies
-def edge_list_strategy(max_nodes: int = 30, max_edges: int = 120):
-    """Hypothesis strategy producing a random (possibly messy) edge list."""
-    return st.integers(min_value=2, max_value=max_nodes).flatmap(
-        lambda n: st.lists(
-            st.tuples(
-                st.integers(min_value=0, max_value=n - 1),
-                st.integers(min_value=0, max_value=n - 1),
-            ),
-            min_size=0,
-            max_size=max_edges,
-        ).map(lambda edges: COOGraph.from_edges(edges, num_nodes=n))
-    )
-
-
-def graph_strategy(max_nodes: int = 30, max_edges: int = 120):
-    """Canonicalized random graphs."""
-    return edge_list_strategy(max_nodes, max_edges).map(lambda g: g.canonicalize())

@@ -1,0 +1,100 @@
+"""Differential runner: full kernel × executor × baseline agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import graph_strategy
+from repro.graph.coo import COOGraph
+from repro.testing.differential import (
+    BASELINE_NAMES,
+    EXECUTOR_GRID,
+    KERNEL_NAMES,
+    PIPELINE_VARIANTS,
+    DifferentialReport,
+    DifferentialRunner,
+)
+
+
+class TestGridCoverage:
+    def test_every_axis_covered_on_one_graph(self, differential_runner, small_graph):
+        report = differential_runner.run(small_graph)
+        assert report.ok, report.failures
+        labels = set(report.counts)
+        # Kernel axis.
+        for kernel in KERNEL_NAMES:
+            assert f"kernel:{kernel}" in labels
+        # Baseline axis (dense applies: the graph is small).
+        for baseline in BASELINE_NAMES:
+            assert f"baseline:{baseline}" in labels
+        # Pipeline variant × executor axis — the full cross product.
+        for variant in PIPELINE_VARIANTS:
+            for engine in EXECUTOR_GRID:
+                assert f"pipeline:{variant}×{engine}" in labels
+        assert "oracle" in labels
+
+    def test_all_counts_equal_truth(self, differential_runner, small_graph):
+        report = differential_runner.run(small_graph)
+        assert set(report.counts.values()) == {report.truth}
+
+    def test_runs_on_every_family(self, differential_runner, graph_case):
+        report = differential_runner.run(graph_case.graph, expected=graph_case.exact)
+        assert report.ok, report.failures
+        if graph_case.exact is not None:
+            assert report.truth == graph_case.exact
+
+
+class TestMismatchDetection:
+    def test_wrong_expected_count_is_flagged(self, small_graph):
+        runner = DifferentialRunner()
+        truth = runner.run(small_graph).truth
+        report = runner.run(small_graph, expected=truth + 1)
+        assert not report.ok
+        # Every implementation (including the oracle) disagrees with the lie.
+        assert len(report.mismatches) == len(report.counts)
+        assert any("oracle" in m for m in report.mismatches)
+
+    def test_report_record_flags_bad_count(self):
+        report = DifferentialReport(graph_name="g", truth=5)
+        report.record("impl:good", 5)
+        report.record("impl:bad", 6)
+        assert report.counts == {"impl:good": 5, "impl:bad": 6}
+        assert report.mismatches == ["impl:bad: counted 6, oracle says 5"]
+        assert not report.ok
+        assert "FAILURES" in report.summary()
+
+
+class TestExecutorParity:
+    def test_parity_checked_across_engines(self, small_graph):
+        """Simulated clocks, charges and traces are engine-invariant."""
+        runner = DifferentialRunner(num_colors=4, jobs=2)
+        report = runner.run(small_graph)
+        assert report.parity_failures == []
+
+    def test_parity_detects_divergence(self, small_graph):
+        """Corrupt one engine's result and the parity check must fire."""
+        runner = DifferentialRunner(num_colors=3)
+        results = runner.pipeline_results(small_graph, "merge")
+        results["thread"].per_dpu_counts = results["thread"].per_dpu_counts + 1
+        report = DifferentialReport(graph_name="g", truth=0)
+        runner._check_parity("merge", results, report)
+        assert any("per-DPU counts differ" in f for f in report.parity_failures)
+
+
+class TestPropertyDifferential:
+    @settings(max_examples=10, deadline=None)
+    @given(g=graph_strategy(max_nodes=20, max_edges=60))
+    def test_agreement_on_fuzzed_graphs(self, g):
+        # Light grid for hypothesis: kernels + baselines + serial pipeline.
+        runner = DifferentialRunner(executors=("serial",), variants=("merge",))
+        report = runner.run(g)
+        assert report.ok, report.failures
+
+    def test_empty_and_single_edge(self):
+        runner = DifferentialRunner()
+        for edges, n in ([], 0), ([], 5), ([(0, 1)], 2):
+            g = COOGraph.from_edges(edges, num_nodes=n)
+            report = runner.run(g, expected=0)
+            assert report.ok, (edges, n, report.failures)

@@ -1,0 +1,138 @@
+"""Edge-case regressions: the boundaries the paper's corrections must survive.
+
+Covers the degenerate inputs (empty graph, single edge), graphs whose
+triangles are *all* monochromatic — the worst case of the Sec. 3.1 correction
+— at ``C=1`` and ``C=2``, and the reservoir path with capacity ``M`` larger
+than the edge count (scales must collapse to exactly 1.0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngFactory
+from repro.coloring.partition import ColoringPartitioner
+from repro.core.api import PimTriangleCounter
+from repro.core.host import PimTcOptions
+from repro.graph.coo import COOGraph
+from repro.graph.triangles import count_triangles
+from repro.streaming.reservoir import EdgeReservoir, reservoir_scale
+
+
+def _pipeline_colors(num_colors: int, seed: int, num_nodes: int) -> np.ndarray:
+    """Node colors exactly as the pipeline will draw them for this seed.
+
+    Mirrors the host: ``ColoringPartitioner(C, RngFactory(seed).stream("coloring"))``.
+    """
+    partitioner = ColoringPartitioner(num_colors, RngFactory(seed).stream("coloring"))
+    return partitioner.node_colors(np.arange(num_nodes, dtype=np.int64))
+
+
+def _monochromatic_clique(num_colors: int, seed: int, clique_size: int) -> COOGraph:
+    """A clique whose nodes all share one color under the pipeline's hash."""
+    num_nodes = 64
+    colors = _pipeline_colors(num_colors, seed, num_nodes)
+    same = np.flatnonzero(colors == colors[0])
+    if same.size < clique_size:
+        pytest.fail(
+            f"seed {seed} gives only {same.size} nodes of color {colors[0]}; "
+            "pick another seed"
+        )
+    members = same[:clique_size]
+    edges = [
+        (int(members[i]), int(members[j]))
+        for i in range(clique_size)
+        for j in range(i + 1, clique_size)
+    ]
+    return COOGraph.from_edges(edges, num_nodes=num_nodes)
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("num_nodes", [0, 1, 5])
+    def test_empty_graph(self, num_nodes):
+        g = COOGraph.from_edges([], num_nodes=num_nodes)
+        result = PimTriangleCounter(num_colors=3).count(g)
+        assert result.count == 0
+        assert result.is_exact
+        assert int(result.per_dpu_counts.sum()) == 0
+
+    def test_single_edge(self):
+        g = COOGraph.from_edges([(0, 1)], num_nodes=2)
+        result = PimTriangleCounter(num_colors=3).count(g)
+        assert result.count == 0
+        assert result.edges_input == 1
+
+
+class TestAllMonochromaticTriangles:
+    """Every triangle lands on ``C`` cores; the correction must remove C-1."""
+
+    def test_c1_everything_is_monochromatic(self):
+        # With one color there is one core and every triangle is mono.
+        g = _monochromatic_clique(num_colors=1, seed=0, clique_size=6)
+        truth = count_triangles(g)
+        assert truth == 20  # C(6,3)
+        result = PimTriangleCounter(options=PimTcOptions(num_colors=1, seed=0)).count(g)
+        assert result.count == truth
+        assert result.num_dpus == 1
+        assert int(result.per_dpu_counts.sum()) == truth
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_c2_all_mono_corrected_exactly(self, seed):
+        c = 2
+        g = _monochromatic_clique(num_colors=c, seed=seed, clique_size=6)
+        truth = count_triangles(g)
+        assert truth == 20
+        result = PimTriangleCounter(options=PimTcOptions(num_colors=c, seed=seed)).count(g)
+        assert result.count == truth
+        # Each mono triangle is counted by exactly C cores before correction.
+        assert int(result.per_dpu_counts.sum()) == c * truth
+
+    def test_c2_mixed_graph_still_exact(self):
+        # Mono clique plus extra cross-color edges: correction only removes
+        # the duplicated mono copies, never the bichromatic triangles.
+        seed, c = 3, 2
+        g = _monochromatic_clique(num_colors=c, seed=seed, clique_size=5)
+        colors = _pipeline_colors(c, seed, g.num_nodes)
+        other = np.flatnonzero(colors != colors[0])[:3]
+        mono_nodes = np.flatnonzero(colors == colors[0])[:5]
+        extra = [(int(a), int(b)) for a in mono_nodes for b in other]
+        mixed = COOGraph.from_edges(
+            list(zip(g.src.tolist(), g.dst.tolist())) + extra, num_nodes=g.num_nodes
+        )
+        truth = count_triangles(mixed)
+        assert truth > 10  # the cross edges really added triangles
+        result = PimTriangleCounter(options=PimTcOptions(num_colors=c, seed=seed)).count(mixed)
+        assert result.count == truth
+
+
+class TestReservoirLargerThanStream:
+    def test_scale_is_one_below_capacity(self):
+        for t in range(0, 10):
+            assert reservoir_scale(10, t) == 1.0
+        assert reservoir_scale(10, 11) < 1.0
+
+    def test_reservoir_keeps_everything_when_oversized(self):
+        rng = np.random.default_rng(0)
+        src = np.arange(20, dtype=np.int64)
+        dst = src + 1
+        reservoir = EdgeReservoir(capacity=50, rng=rng)
+        reservoir.offer_batch(src, dst)
+        kept_src, kept_dst = reservoir.edges()
+        np.testing.assert_array_equal(np.sort(kept_src), src)
+        assert kept_src.size == 20
+
+    def test_pipeline_exact_when_capacity_exceeds_edges(self, small_graph):
+        truth = count_triangles(small_graph)
+        result = PimTriangleCounter(
+            options=PimTcOptions(
+                num_colors=3,
+                reservoir_capacity=small_graph.num_edges * 10,
+                seed=4,
+            )
+        ).count(small_graph)
+        assert result.count == truth
+        assert result.is_exact
+        np.testing.assert_array_equal(
+            result.reservoir_scales, np.ones_like(result.reservoir_scales)
+        )

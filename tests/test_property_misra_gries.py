@@ -1,0 +1,116 @@
+"""Misra-Gries deterministic guarantee, property-tested over fuzzed streams.
+
+The guarantee the paper's Sec. 3.5 pipeline relies on: after processing a
+stream of ``m`` items with a summary of size ``K``, **every item whose true
+frequency exceeds ``m / K`` is present in the summary**.  This must hold for
+the textbook one-item rule, the batch (mergeable-summaries) path, and the
+multi-thread chunk-and-merge combination the host actually runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_degree_sequence
+from repro.streaming.misra_gries import MisraGries
+
+
+def _stream_from_degrees(degrees: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A node stream where node ``i`` appears ``degrees[i]`` times, shuffled."""
+    stream = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    rng.shuffle(stream)
+    return stream
+
+
+def _heavy_hitters(stream: np.ndarray, k: int) -> list[int]:
+    values, counts = np.unique(stream, return_counts=True)
+    threshold = stream.size / k
+    return values[counts > threshold].tolist()
+
+
+def _assert_guarantee(mg: MisraGries, stream: np.ndarray, k: int, path: str) -> None:
+    assert mg.items_seen == stream.size
+    assert mg.size <= k
+    for item in _heavy_hitters(stream, k):
+        assert item in mg.counters, (
+            f"{path}: node {item} has frequency > m/K = {stream.size / k:.1f} "
+            f"but is missing from the summary (K={k}, m={stream.size})"
+        )
+
+
+#: Strategy: a skewed degree sequence, as (num_nodes, seed, K, chunks).
+_degree_cases = st.tuples(
+    st.integers(min_value=2, max_value=60),  # nodes
+    st.integers(min_value=0, max_value=2**31 - 1),  # rng seed
+    st.integers(min_value=1, max_value=16),  # K
+    st.integers(min_value=1, max_value=8),  # merge chunks
+)
+
+
+class TestGuaranteeOnFuzzedDegreeSequences:
+    @settings(max_examples=40, deadline=None)
+    @given(params=_degree_cases)
+    def test_one_item_rule(self, params):
+        n, seed, k, _ = params
+        rng = np.random.default_rng(seed)
+        degrees = powerlaw_degree_sequence(n, 2.2, rng, min_degree=1)
+        stream = _stream_from_degrees(degrees, rng)
+        mg = MisraGries(k)
+        for item in stream.tolist():
+            mg.update(item)
+        _assert_guarantee(mg, stream, k, "update")
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=_degree_cases)
+    def test_batch_path(self, params):
+        n, seed, k, _ = params
+        rng = np.random.default_rng(seed)
+        degrees = powerlaw_degree_sequence(n, 2.2, rng, min_degree=1)
+        stream = _stream_from_degrees(degrees, rng)
+        mg = MisraGries(k)
+        mg.update_array(stream)
+        _assert_guarantee(mg, stream, k, "update_array")
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=_degree_cases)
+    def test_chunked_merge_path(self, params):
+        """The host's per-thread summaries merged together keep the bound."""
+        n, seed, k, chunks = params
+        rng = np.random.default_rng(seed)
+        degrees = powerlaw_degree_sequence(n, 2.2, rng, min_degree=1)
+        stream = _stream_from_degrees(degrees, rng)
+        merged = MisraGries(k)
+        for chunk in np.array_split(stream, chunks):
+            local = MisraGries(k)
+            local.update_array(chunk)
+            merged.merge(local)
+        _assert_guarantee(merged, stream, k, f"merge({chunks} chunks)")
+
+
+class TestAdversarialStreams:
+    def test_single_dominating_node(self):
+        """One node is half the stream: must survive any K >= 2."""
+        rng = np.random.default_rng(0)
+        tail = rng.integers(1, 50, size=200)
+        stream = np.concatenate([np.zeros(200, dtype=np.int64), tail])
+        rng.shuffle(stream)
+        for k in (2, 3, 8):
+            mg = MisraGries(k)
+            mg.update_array(stream)
+            _assert_guarantee(mg, stream, k, f"dominating/K={k}")
+
+    def test_uniform_stream_may_keep_nothing(self):
+        """No heavy hitter above m/K: the guarantee is vacuous, never wrong."""
+        stream = np.arange(100, dtype=np.int64)  # all frequencies 1
+        mg = MisraGries(5)
+        mg.update_array(stream)
+        assert _heavy_hitters(stream, 5) == []
+        assert mg.size <= 5
+
+    def test_error_bound_reported(self):
+        mg = MisraGries(10)
+        mg.update_array(np.zeros(50, dtype=np.int64))
+        assert mg.error_bound() == pytest.approx(5.0)

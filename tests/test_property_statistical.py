@@ -1,0 +1,137 @@
+"""Statistical acceptance: documented bounds, correct math, real teeth.
+
+Policy under test (see docs/testing.md): estimators are judged by the mean
+of an ``n``-seed sweep against a Chebyshev interval at explicit failure
+probability ``delta`` — never by a single seed against a hand-picked epsilon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.testing.statistical import (
+    AcceptanceBound,
+    SeedSweepResult,
+    binomial_uniform_bound,
+    empirical_chebyshev_bound,
+    sweep_misra_gries,
+    sweep_reservoir,
+    sweep_uniform,
+)
+from repro.testing.strategies import planted_triangles
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """40 edge-disjoint triangles: the binomial bound's assumption holds."""
+    return planted_triangles(40, 130, np.random.default_rng(7)).canonicalize()
+
+
+@pytest.fixture(scope="module")
+def er_graph():
+    return erdos_renyi(50, 300, np.random.default_rng(3)).canonicalize()
+
+
+class TestBoundMath:
+    def test_binomial_variance_formula(self):
+        # Var(single estimate) = T (1 - p^3) / p^3; eps = sqrt(Var / (n delta)).
+        t, p, n, delta = 40, 0.5, 40, 0.02
+        bound = binomial_uniform_bound(t, p, n, delta)
+        var = t * (1 - p**3) / p**3
+        assert bound.epsilon == pytest.approx(np.sqrt(var / (n * delta)))
+        assert bound.method == "binomial-chebyshev"
+        assert "P[false alarm] <= 0.02" in bound.describe()
+
+    def test_binomial_bound_zero_at_p1(self):
+        assert binomial_uniform_bound(100, 1.0, 10, 0.05).epsilon == 0.0
+
+    def test_binomial_bound_validates_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_uniform_bound(10, 0.0, 5, 0.05)
+        with pytest.raises(ValueError):
+            binomial_uniform_bound(10, 0.5, 5, 1.5)
+
+    def test_empirical_bound_scales_with_variance(self):
+        tight = empirical_chebyshev_bound(np.array([10.0, 10.1, 9.9, 10.0]), 0.05)
+        loose = empirical_chebyshev_bound(np.array([5.0, 15.0, 0.0, 20.0]), 0.05)
+        assert loose.epsilon > tight.epsilon > 0
+
+    def test_empirical_bound_zero_variance_means_exact(self):
+        bound = empirical_chebyshev_bound(np.full(6, 42.0), 0.05)
+        assert bound.epsilon == 0.0
+
+
+class TestSweeps:
+    def test_uniform_accepts_on_planted(self, planted):
+        result = sweep_uniform(
+            planted, 0.5, n_seeds=40, delta=0.02, edge_disjoint=True
+        )
+        # Chebyshev at delta=0.02: this fixed-seed sweep must land inside.
+        assert result.accepted, result.detail()
+        assert result.bound.method == "binomial-chebyshev"
+
+    def test_reservoir_accepts(self, er_graph):
+        result = sweep_reservoir(er_graph, capacity=40, n_seeds=30, delta=0.02)
+        assert result.accepted, result.detail()
+        assert result.std > 0  # the reservoir path really sampled
+
+    def test_misra_gries_path_is_exact_for_every_seed(self, er_graph):
+        result = sweep_misra_gries(er_graph, k=32, t=4, n_seeds=8)
+        assert result.accepted, result.detail()
+        assert result.bound.epsilon == 0.0
+        assert np.all(result.estimates == result.truth)
+
+    def test_detail_names_seeds_and_error(self, planted):
+        result = sweep_uniform(
+            planted, 0.5, n_seeds=5, delta=0.1, first_seed=17, edge_disjoint=True
+        )
+        detail = result.detail()
+        assert "seeds=17..21" in detail
+        assert "rel_err=" in detail
+        assert "P[false alarm]" in detail
+
+
+class TestTeeth:
+    """The acceptance must actually reject a biased estimator."""
+
+    def test_biased_mean_rejected(self):
+        truth = 100.0
+        bound = AcceptanceBound(epsilon=5.0, n_seeds=10, delta=0.02, method="exact")
+        biased = SeedSweepResult(
+            label="biased",
+            truth=truth,
+            estimates=np.full(10, 120.0),  # 20% off — a broken correction factor
+            bound=bound,
+            first_seed=0,
+        )
+        assert not biased.accepted
+        with pytest.raises(AssertionError, match="statistical acceptance FAILED"):
+            biased.require()
+
+    def test_missing_p3_correction_would_fail(self, planted):
+        """Simulate forgetting the 1/p^3 unbias: mean collapses to T * p^3."""
+        result = sweep_uniform(
+            planted, 0.5, n_seeds=20, delta=0.02, edge_disjoint=True
+        )
+        broken = SeedSweepResult(
+            label="no-unbias",
+            truth=result.truth,
+            estimates=result.estimates * 0.5**3,
+            bound=result.bound,
+            first_seed=0,
+        )
+        assert not broken.accepted
+
+    def test_zero_variance_bias_rejected(self):
+        """Deterministic-but-wrong paths cannot hide behind a wide interval."""
+        bound = empirical_chebyshev_bound(np.full(8, 50.0), 0.05)
+        wrong = SeedSweepResult(
+            label="deterministic-wrong",
+            truth=49.0,
+            estimates=np.full(8, 50.0),
+            bound=bound,
+            first_seed=0,
+        )
+        assert not wrong.accepted

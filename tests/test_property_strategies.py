@@ -1,0 +1,93 @@
+"""The fuzz families themselves: promised counts, determinism, adversity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.triangles import count_triangles
+from repro.testing.strategies import (
+    CASE_FAMILIES,
+    FAMILY_NAMES,
+    adversarial_stream,
+    graph_cases,
+    make_case,
+    planted_triangles,
+    sample_case,
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_known_counts_hold(self, family):
+        """make_case itself asserts exact == oracle; run it across seeds."""
+        for seed in range(8):
+            case = make_case(family, np.random.default_rng(seed))
+            assert case.graph.is_canonical()
+            if case.exact is not None:
+                assert count_triangles(case.graph) == case.exact
+
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_deterministic_in_seed(self, family):
+        a = make_case(family, np.random.default_rng(99))
+        b = make_case(family, np.random.default_rng(99))
+        assert a.fingerprint() == b.fingerprint()
+        np.testing.assert_array_equal(a.graph.src, b.graph.src)
+        np.testing.assert_array_equal(a.graph.dst, b.graph.dst)
+
+    def test_sample_case_covers_every_family(self):
+        seen = set()
+        rng = np.random.default_rng(0)
+        for _ in range(400):
+            seen.add(sample_case(rng).family)
+            if seen == set(FAMILY_NAMES):
+                break
+        assert seen == set(FAMILY_NAMES)
+
+    def test_registry_consistent(self):
+        assert FAMILY_NAMES == tuple(CASE_FAMILIES)
+
+
+class TestPlantedTriangles:
+    def test_exact_count_by_construction(self):
+        rng = np.random.default_rng(5)
+        g = planted_triangles(7, 40, rng).canonicalize()
+        assert count_triangles(g) == 7
+        assert g.num_edges == 21  # 3 disjoint edges per triangle
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            planted_triangles(4, 11, np.random.default_rng(0))
+
+
+class TestAdversarialStream:
+    def test_messy_but_count_preserving(self):
+        rng = np.random.default_rng(1)
+        base = planted_triangles(3, 12, rng)
+        raw = adversarial_stream(base, rng)
+        # Hostile on purpose: more stored tuples than real edges, self-loops.
+        assert raw.num_edges > base.num_edges
+        assert bool((raw.src == raw.dst).any())
+        assert count_triangles(raw.canonicalize()) == 3
+
+
+class TestHypothesisIntegration:
+    @settings(max_examples=25, deadline=None)
+    @given(case=graph_cases())
+    def test_graph_cases_strategy_sound(self, case):
+        assert case.family in FAMILY_NAMES
+        assert case.graph.is_canonical()
+        if case.exact is not None:
+            assert count_triangles(case.graph) == case.exact
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILY_NAMES),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_case_reproducible_from_family_and_seed(self, family, seed):
+        a = make_case(family, np.random.default_rng(seed))
+        b = make_case(family, np.random.default_rng(seed))
+        assert a.fingerprint() == b.fingerprint()

@@ -13,7 +13,7 @@ from repro.verify import verify_installation
 class TestVerifyInstallation:
     def test_all_checks_pass(self):
         checks = verify_installation(seed=3)
-        assert len(checks) == 6
+        assert len(checks) == 7
         for check in checks:
             assert check.passed, f"{check.name}: {check.detail}"
 
