@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Telemetry benchmark harness: the fig3-style sweep as a perf trajectory.
+
+Runs the paper's Figure-3 sweep (every dataset analogue, ordered by max
+degree, exact counting at the tier's default ``C``) with a fresh telemetry
+recorder per run and writes ``BENCH_telemetry.json`` — one stable-schema
+record per graph with the phase ledger, throughput, load balance, the
+deterministic metrics snapshot, and the span tree (simulated + wall clocks).
+
+This file is the baseline future PRs diff against: a hot-path optimisation
+should move ``wall_seconds`` / span wall times while leaving every simulated
+number and metric snapshot bit-identical (unless it intentionally changes
+the cost model, in which case the diff documents exactly what moved).
+
+Usage::
+
+    python benchmarks/bench_report.py                       # small tier
+    python benchmarks/bench_report.py --tier tiny --out BENCH_telemetry.json
+
+Not a pytest-benchmark module on purpose: the output is a committed-schema
+JSON artifact, not a timing assertion (CI uploads it as a workflow artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+BENCH_SCHEMA = "repro-bench-telemetry/1"
+
+
+def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
+    """Execute the sweep and return the ``BENCH_telemetry.json`` document."""
+    from repro.core.api import PimTriangleCounter
+    from repro.experiments.common import DEFAULT_COLORS, paper_graph_order_by_max_degree
+    from repro.graph.datasets import get_dataset
+    from repro.graph.stats import degree_stats
+    from repro.telemetry import Telemetry
+
+    colors = num_colors or DEFAULT_COLORS[tier]
+    runs = []
+    for name in paper_graph_order_by_max_degree(tier):
+        graph = get_dataset(name, tier)
+        max_degree, _ = degree_stats(graph)
+        telemetry = Telemetry()
+        counter = PimTriangleCounter(num_colors=colors, seed=seed, telemetry=telemetry)
+        wall_start = time.perf_counter()
+        result = counter.count(graph)
+        wall_seconds = time.perf_counter() - wall_start
+        runs.append(
+            {
+                "graph": name,
+                "num_nodes": int(graph.num_nodes),
+                "num_edges": int(graph.num_edges),
+                "max_degree": int(max_degree),
+                "count": result.count,
+                "phases": {k: float(v) for k, v in result.clock.phases.items()},
+                "throughput_edges_per_ms": result.throughput_edges_per_ms(),
+                "load_balance": result.load_balance(),
+                "wall_seconds": wall_seconds,
+                "metrics": telemetry.metrics.snapshot(),
+                "spans": telemetry.to_dict()["spans"],
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "tier": tier,
+        "seed": seed,
+        "colors": colors,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fig3-style telemetry sweep -> BENCH_telemetry.json"
+    )
+    parser.add_argument("--tier", default="small", choices=("tiny", "small", "bench"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--colors", type=int, default=None,
+                        help="C for every run (default: the tier's default)")
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    args = parser.parse_args(argv)
+
+    document = run_sweep(args.tier, args.seed, args.colors)
+    with open(args.out, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    total_wall = sum(r["wall_seconds"] for r in document["runs"])
+    print(
+        f"{args.out}: {len(document['runs'])} runs (tier={args.tier}, "
+        f"C={document['colors']}), {total_wall:.2f}s wall total"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from .core import (
     TcResult,
 )
 from .pimsim import PAPER_SYSTEM, PimSystemConfig
+from .telemetry import RunReport, Telemetry
 
 __version__ = "1.0.0"
 
@@ -40,5 +41,7 @@ __all__ = [
     "DynamicPimCounter",
     "PimSystemConfig",
     "PAPER_SYSTEM",
+    "Telemetry",
+    "RunReport",
     "__version__",
 ]

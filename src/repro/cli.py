@@ -12,6 +12,7 @@ Examples::
     repro-count dataset:orkut --tier small --uniform-p 0.1 --trials 5
     repro-count dataset:wikipedia --local --top 10
     repro-count dataset:orkut --colors 8 --executor process --jobs 4
+    repro-count graph.el --profile --metrics-out report.json --chrome-trace t.json
     repro-count --fuzz 25 --seed 7     # seeded correctness fuzzing, no graph
 """
 
@@ -28,6 +29,7 @@ from .pimsim.config import EXECUTOR_NAMES
 from .graph.coo import COOGraph
 from .graph.datasets import DATASET_NAMES, get_dataset
 from .graph.io import read_edge_list, read_matrix_market
+from .telemetry import Telemetry
 
 __all__ = ["main"]
 
@@ -97,6 +99,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker count for --executor thread/process "
                              "(default: all cores)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a machine-readable RunReport JSON "
+                             "(result + span tree + metrics; see "
+                             "docs/observability.md for the schema); "
+                             "PATH ending in .csv writes the metrics as CSV")
+    parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                        help="write a chrome://tracing / Perfetto trace of "
+                             "the run (wall-clock span track + simulated "
+                             "operation track)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a sorted self-time table per span "
+                             "(simulated and wall clocks)")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     parser.add_argument("--fuzz", type=int, default=None, metavar="N",
@@ -131,9 +145,13 @@ def main(argv: list[str] | None = None) -> int:
     mg_k, mg_t = args.misra_gries
     print(f"graph: {graph.name} — {graph.num_nodes} nodes, {graph.num_edges} edges")
 
+    telemetry_wanted = bool(args.metrics_out or args.chrome_trace or args.profile)
     estimates = []
     result = None
     for trial in range(args.trials):
+        # A fresh recorder per trial: reports describe the *last* run rather
+        # than an accumulation over trials.
+        telemetry = Telemetry(detail=True) if telemetry_wanted else None
         counter = PimTriangleCounter(
             num_colors=args.colors,
             uniform_p=args.uniform_p,
@@ -143,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed + trial,
             executor=args.executor,
             jobs=args.jobs,
+            telemetry=telemetry,
         )
         result = counter.count_local(graph) if args.local else counter.count(graph)
         estimates.append(result.estimate)
@@ -165,7 +184,41 @@ def main(argv: list[str] | None = None) -> int:
         print(f"top {args.top} nodes by triangle participation:")
         for node, value in result.top_nodes(args.top):
             print(f"  node {node}: {value:.0f}")
+    if telemetry_wanted:
+        _emit_telemetry(args, graph, result)
     return 0
+
+
+def _emit_telemetry(args, graph, result) -> None:
+    """Write/print the telemetry artifacts of the last run."""
+    from .telemetry import RunReport, metrics_to_csv, render_profile, write_chrome_trace
+
+    tel = result.telemetry
+    if args.metrics_out:
+        report = RunReport.from_result(
+            result,
+            graph=graph,
+            config={
+                "colors": args.colors,
+                "seed": args.seed + args.trials - 1,
+                "uniform_p": args.uniform_p,
+                "executor": args.executor or "serial",
+                "tier": args.tier,
+            },
+        )
+        if args.metrics_out.endswith(".csv"):
+            with open(args.metrics_out, "w") as fh:
+                fh.write(metrics_to_csv(tel.metrics.snapshot()))
+        else:
+            report.write_json(args.metrics_out)
+        print(f"metrics report written to {args.metrics_out}")
+    if args.chrome_trace:
+        write_chrome_trace(args.chrome_trace, tel, result.trace)
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.profile:
+        print()
+        print(render_profile(tel))
 
 
 if __name__ == "__main__":

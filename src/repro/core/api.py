@@ -29,6 +29,7 @@ from ..coloring.triplets import colors_for_dpus, num_triplets
 from ..graph.coo import COOGraph
 from ..pimsim.config import PimSystemConfig
 from ..pimsim.system import PimSystem
+from ..telemetry.spans import Telemetry
 from .host import PimTcOptions, PimTcPipeline
 from .result import TcResult
 
@@ -56,6 +57,7 @@ class PimTriangleCounter:
         jobs: int | None = None,
         system_config: PimSystemConfig | None = None,
         options: PimTcOptions | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if options is None:
             options = PimTcOptions(
@@ -84,7 +86,14 @@ class PimTriangleCounter:
                 jobs if jobs is not None else config.jobs,
             )
         self.system = PimSystem(config)
-        self._pipeline = PimTcPipeline(options=self.options, system=self.system)
+        self._pipeline = PimTcPipeline(
+            options=self.options, system=self.system, telemetry=telemetry
+        )
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The pipeline's telemetry recorder (span tree + metrics registry)."""
+        return self._pipeline.telemetry
 
     # ------------------------------------------------------------------ counting
     def count(self, graph: COOGraph) -> TcResult:

@@ -38,6 +38,8 @@ from ..streaming.estimators import combine_dpu_counts
 from ..streaming.misra_gries import MisraGries
 from ..streaming.reservoir import EdgeReservoir, reservoir_scale
 from ..streaming.uniform import UniformSample, uniform_sample
+from ..telemetry.metrics import DEFAULT_FRACTION_BUCKETS
+from ..telemetry.spans import SpanRecord, Telemetry
 from .kernel_tc_fast import KernelCosts, TriangleCountKernel
 from .remap import RemapTable
 from .result import KernelAggregate, TcResult
@@ -155,9 +157,15 @@ class PimTcPipeline:
         self,
         options: PimTcOptions | None = None,
         system: PimSystem | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.options = options or PimTcOptions()
         self.system = system or PimSystem(PimSystemConfig())
+        # Telemetry is on by default: with detail off it only opens the
+        # phase/operation spans (~a dozen perf_counter reads per run).  A
+        # pipeline reused across graphs accumulates spans and metrics; pass a
+        # fresh recorder per run when per-run reports are wanted.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         from ..coloring.triplets import num_triplets
 
         needed = num_triplets(self.options.num_colors)
@@ -205,98 +213,133 @@ class PimTcPipeline:
         rngs = RngFactory(opts.seed)
         wall_start = time.perf_counter()
         clock = SimClock()
+        tel = self.telemetry
 
         # ---------------------------------------------------------------- setup
-        partitioner = ColoringPartitioner(opts.num_colors, rngs.stream("coloring"))
-        dpus = self.system.allocate(partitioner.num_dpus, clock)
-        dpus.load_kernel(kernel, phase="setup")
-        # Host: load the graph file into memory + allocate per-core batch arrays.
-        clock.advance(
-            "setup",
-            graph.nbytes() / cost.host_memcpy_bandwidth
-            + self._host_seconds(200.0, partitioner.num_dpus),
-        )
+        with tel.span("setup", clock=clock):
+            partitioner = ColoringPartitioner(opts.num_colors, rngs.stream("coloring"))
+            dpus = self.system.allocate(partitioner.num_dpus, clock, telemetry=tel)
+            dpus.load_kernel(kernel, phase="setup")
+            # Host: load the graph file into memory + allocate per-core batch arrays.
+            clock.advance(
+                "setup",
+                graph.nbytes() / cost.host_memcpy_bandwidth
+                + self._host_seconds(200.0, partitioner.num_dpus),
+            )
 
         # ------------------------------------------------------- sample creation
-        # Uniform sampling happens while streaming the file: every input edge is
-        # read and hashed; only kept edges are routed.
-        clock.advance(
-            "sample_creation", self._host_seconds(cost.host_edge_cycles, graph.num_edges)
-        )
-        sample = uniform_sample(graph, opts.uniform_p, rngs.stream("uniform"))
-        kept = sample.graph
-
-        remap_payload: RemapTable | None = None
-        if opts.misra_gries_k > 0:
-            remap_payload = self._run_misra_gries(kept, clock)
-
-        partition = partitioner.assign(kept)
-        edge_bytes = opts.kernel_costs.edge_bytes
-        routed_bytes = partition.counts * edge_bytes
-        # Batch assembly memcpy on the host.
-        clock.advance(
-            "sample_creation",
-            float(routed_bytes.sum()) / cost.host_memcpy_bandwidth,
-        )
-        # Rank-padded parallel scatter of the batches.  With a finite batch
-        # buffer the host flushes every time the fullest core's buffer fills,
-        # so the transfer happens in rounds; each round moves at most
-        # ``batch`` edges per core and pays the per-transfer latency.
-        if opts.transfer_batch_edges is None:
-            stats = dpus.transfer.scatter(routed_bytes)
-            clock.advance("sample_creation", stats.seconds)
-            dpus.trace.record(
-                "sample_creation", "scatter", stats.seconds, stats.payload_bytes, "edge batches"
-            )
-        else:
-            batch = int(opts.transfer_batch_edges)
-            remaining = partition.counts.astype(np.int64).copy()
-            rounds = 0
-            while remaining.max(initial=0) > 0:
-                this_round = np.minimum(remaining, batch)
-                stats = dpus.transfer.scatter(this_round * edge_bytes)
-                clock.advance("sample_creation", stats.seconds)
-                dpus.trace.record(
+        with tel.span("sample_creation", clock=clock):
+            # Uniform sampling happens while streaming the file: every input
+            # edge is read and hashed; only kept edges are routed.
+            with tel.span("uniform_sample", clock=clock):
+                clock.advance(
                     "sample_creation",
-                    "scatter",
-                    stats.seconds,
-                    stats.payload_bytes,
-                    f"edge batch round {rounds}",
+                    self._host_seconds(cost.host_edge_cycles, graph.num_edges),
                 )
-                remaining -= this_round
-                rounds += 1
-        if remap_payload is not None and remap_payload.t > 0:
-            stats = dpus.transfer.broadcast(remap_payload.nbytes(), len(dpus))
-            clock.advance("sample_creation", stats.seconds)
-            dpus.trace.record(
-                "sample_creation", "broadcast", stats.seconds, stats.payload_bytes, "remap_table"
-            )
+                sample = uniform_sample(graph, opts.uniform_p, rngs.stream("uniform"))
+                kept = sample.graph
 
-        capacity = self._reservoir_capacity()
-        remap_nodes = (
-            remap_payload.nodes
-            if remap_payload is not None and remap_payload.t > 0
-            else None
-        )
-        payloads = [
-            (
-                s_arr,
-                d_arr,
-                capacity,
-                rngs.stream("reservoir", index=d),
-                opts.kernel_costs,
-                remap_nodes,
+            remap_payload: RemapTable | None = None
+            if opts.misra_gries_k > 0:
+                with tel.span("misra_gries", clock=clock):
+                    remap_payload = self._run_misra_gries(kept, clock)
+
+            with tel.span("partition", clock=clock):
+                partition = partitioner.assign(kept)
+                edge_bytes = opts.kernel_costs.edge_bytes
+                routed_bytes = partition.counts * edge_bytes
+                # Batch assembly memcpy on the host.
+                clock.advance(
+                    "sample_creation",
+                    float(routed_bytes.sum()) / cost.host_memcpy_bandwidth,
+                )
+            # Rank-padded parallel scatter of the batches.  With a finite batch
+            # buffer the host flushes every time the fullest core's buffer fills,
+            # so the transfer happens in rounds; each round moves at most
+            # ``batch`` edges per core and pays the per-transfer latency.
+            with tel.span("scatter", clock=clock) as scatter_span:
+                if opts.transfer_batch_edges is None:
+                    stats = dpus.transfer.scatter(routed_bytes)
+                    clock.advance("sample_creation", stats.seconds)
+                    dpus.trace.record(
+                        "sample_creation", "scatter", stats.seconds, stats.payload_bytes,
+                        "edge batches",
+                    )
+                    rounds = 1
+                else:
+                    batch = int(opts.transfer_batch_edges)
+                    remaining = partition.counts.astype(np.int64).copy()
+                    rounds = 0
+                    while remaining.max(initial=0) > 0:
+                        this_round = np.minimum(remaining, batch)
+                        stats = dpus.transfer.scatter(this_round * edge_bytes)
+                        clock.advance("sample_creation", stats.seconds)
+                        dpus.trace.record(
+                            "sample_creation",
+                            "scatter",
+                            stats.seconds,
+                            stats.payload_bytes,
+                            f"edge batch round {rounds}",
+                        )
+                        remaining -= this_round
+                        rounds += 1
+                if scatter_span is not None:
+                    scatter_span.attrs["rounds"] = rounds
+            if remap_payload is not None and remap_payload.t > 0:
+                with tel.span("broadcast_remap", clock=clock):
+                    stats = dpus.transfer.broadcast(remap_payload.nbytes(), len(dpus))
+                    clock.advance("sample_creation", stats.seconds)
+                    dpus.trace.record(
+                        "sample_creation", "broadcast", stats.seconds,
+                        stats.payload_bytes, "remap_table",
+                    )
+
+            capacity = self._reservoir_capacity()
+            remap_nodes = (
+                remap_payload.nodes
+                if remap_payload is not None and remap_payload.t > 0
+                else None
             )
-            for d, (s_arr, d_arr) in enumerate(partition.per_dpu)
-        ]
-        inserted = dpus.executor.map_dpus(_insert_sample, dpus.dpus, payloads)
-        seen = np.array([n_in for n_in, _ in inserted], dtype=np.int64)
-        insert_times = [seconds for _, seconds in inserted]
-        insert_seconds = cost.launch_latency + (max(insert_times) if insert_times else 0.0)
-        clock.advance("sample_creation", insert_seconds)
-        dpus.trace.record(
-            "sample_creation", "launch", insert_seconds, detail="sample insert / reservoir"
-        )
+            payloads = [
+                (
+                    s_arr,
+                    d_arr,
+                    capacity,
+                    rngs.stream("reservoir", index=d),
+                    opts.kernel_costs,
+                    remap_nodes,
+                )
+                for d, (s_arr, d_arr) in enumerate(partition.per_dpu)
+            ]
+            with tel.span("insert", clock=clock):
+                if tel.enabled and tel.detail:
+                    timed = dpus.executor.map_dpus_timed(
+                        _insert_sample, dpus.dpus, payloads
+                    )
+                    inserted = [result for result, _ in timed]
+                    tel.attach_records(
+                        [
+                            SpanRecord(
+                                name=f"dpu{d}",
+                                wall_seconds=wall,
+                                sim_seconds=result[1],
+                            )
+                            for d, (result, wall) in enumerate(timed)
+                        ]
+                    )
+                else:
+                    inserted = dpus.executor.map_dpus(_insert_sample, dpus.dpus, payloads)
+                seen = np.array([n_in for n_in, _ in inserted], dtype=np.int64)
+                insert_times = [seconds for _, seconds in inserted]
+                insert_seconds = cost.launch_latency + (
+                    max(insert_times) if insert_times else 0.0
+                )
+                clock.advance("sample_creation", insert_seconds)
+                dpus.trace.record(
+                    "sample_creation", "launch", insert_seconds,
+                    detail="sample insert / reservoir",
+                )
+        self._record_sample_metrics(graph, kept, partition, seen, capacity)
         return _PreparedRun(
             clock=clock,
             dpus=dpus,
@@ -313,23 +356,28 @@ class PimTcPipeline:
         """Triangle-count phase for the global counting kernel."""
         opts = self.options
         clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
-        dpus.launch(phase="triangle_count")
-        raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
-        raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
-        scales = prep.reservoir_scales()
-        mono = partitioner.mono_mask()
-        estimate = combine_dpu_counts(
-            raw_counts,
-            scales,
-            mono,
-            num_colors=opts.num_colors,
-            uniform_p=prep.sample.p,
-        )
-        # Host-side final reduction over per-core counts.
-        clock.advance("triangle_count", self._host_seconds(10.0, partitioner.num_dpus))
+        with self.telemetry.span("triangle_count", clock=clock):
+            dpus.launch(phase="triangle_count")
+            raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
+            raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+            scales = prep.reservoir_scales()
+            mono = partitioner.mono_mask()
+            with self.telemetry.span("correction", clock=clock):
+                estimate = combine_dpu_counts(
+                    raw_counts,
+                    scales,
+                    mono,
+                    num_colors=opts.num_colors,
+                    uniform_p=prep.sample.p,
+                )
+                # Host-side final reduction over per-core counts.
+                clock.advance(
+                    "triangle_count", self._host_seconds(10.0, partitioner.num_dpus)
+                )
 
-        kernel_aggregate = self._aggregate(dpus)
-        dpus.free()
+            kernel_aggregate = self._aggregate(dpus)
+            dpus.free()
+        self._record_kernel_metrics(kernel_aggregate)
         return TcResult(
             estimate=estimate,
             num_colors=opts.num_colors,
@@ -348,6 +396,7 @@ class PimTcPipeline:
                 "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
             },
             trace=dpus.trace,
+            telemetry=self.telemetry,
         )
 
     def run_local(self, graph: COOGraph) -> "LocalTcResult":
@@ -360,28 +409,33 @@ class PimTcPipeline:
         prep = self._prepare(graph, kernel)
         clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
 
-        dpus.launch(phase="triangle_count")
-        # The local gather is heavy: one num_nodes-long vector per core.
-        local_arrays = dpus.gather("local_counts", phase="triangle_count")
-        raw_arrays = [dpu.mram.load("triangle_count", count_read=False) for dpu in dpus.dpus]
-        raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
-        scales = prep.reservoir_scales()
-        mono = partitioner.mono_mask()
+        with self.telemetry.span("triangle_count", clock=clock):
+            dpus.launch(phase="triangle_count")
+            # The local gather is heavy: one num_nodes-long vector per core.
+            local_arrays = dpus.gather("local_counts", phase="triangle_count")
+            raw_arrays = [
+                dpu.mram.load("triangle_count", count_read=False) for dpu in dpus.dpus
+            ]
+            raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+            scales = prep.reservoir_scales()
+            mono = partitioner.mono_mask()
 
-        locals_matrix = np.stack(local_arrays).astype(np.float64)
-        locals_matrix /= scales[:, None]
-        combined = locals_matrix.sum(axis=0)
-        combined -= (opts.num_colors - 1) * locals_matrix[mono].sum(axis=0)
-        combined /= prep.sample.p**3
-        estimate = float(combined.sum() / 3.0)
-        # Host-side vector reduction over all cores.
-        clock.advance(
-            "triangle_count",
-            self._host_seconds(2.0, partitioner.num_dpus * graph.num_nodes),
-        )
+            with self.telemetry.span("correction", clock=clock):
+                locals_matrix = np.stack(local_arrays).astype(np.float64)
+                locals_matrix /= scales[:, None]
+                combined = locals_matrix.sum(axis=0)
+                combined -= (opts.num_colors - 1) * locals_matrix[mono].sum(axis=0)
+                combined /= prep.sample.p**3
+                estimate = float(combined.sum() / 3.0)
+                # Host-side vector reduction over all cores.
+                clock.advance(
+                    "triangle_count",
+                    self._host_seconds(2.0, partitioner.num_dpus * graph.num_nodes),
+                )
 
-        kernel_aggregate = self._aggregate(dpus)
-        dpus.free()
+            kernel_aggregate = self._aggregate(dpus)
+            dpus.free()
+        self._record_kernel_metrics(kernel_aggregate)
         return LocalTcResult(
             estimate=estimate,
             num_colors=opts.num_colors,
@@ -400,10 +454,69 @@ class PimTcPipeline:
                 "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
             },
             trace=dpus.trace,
+            telemetry=self.telemetry,
             local_estimates=combined,
         )
 
     # ----------------------------------------------------------------- internals
+    def _record_sample_metrics(
+        self,
+        graph: COOGraph,
+        kept: COOGraph,
+        partition: EdgePartition,
+        seen: np.ndarray,
+        capacity: int,
+    ) -> None:
+        """Metrics of the sample-creation phase (engine-invariant inputs only).
+
+        Everything observed here — partition counts, per-DPU seen totals, the
+        reservoir capacity — is computed in the parent process and pinned by
+        the executor parity tests, so the registry snapshot stays bit-
+        identical across serial/thread/process engines.
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.counter("host.edges_input", help="edges in the input graph").inc(
+            graph.num_edges
+        )
+        m.counter("host.edges_kept", help="edges surviving uniform sampling").inc(
+            kept.num_edges
+        )
+        m.counter("pim.edges_routed_total", help="edge copies routed to PIM cores").inc(
+            int(partition.counts.sum())
+        )
+        m.histogram(
+            "pim.edges_routed", help="edges routed per PIM core (load balance)"
+        ).observe_many(partition.counts.astype(np.float64))
+        m.gauge("pim.reservoir.capacity", help="per-core reservoir capacity").set(
+            capacity
+        )
+        occupancy = np.minimum(seen, capacity) / float(capacity)
+        m.histogram(
+            "pim.reservoir.occupancy",
+            buckets=DEFAULT_FRACTION_BUCKETS,
+            help="per-core fraction of the reservoir filled",
+        ).observe_many(occupancy)
+
+    def _record_kernel_metrics(self, aggregate: KernelAggregate) -> None:
+        """Kernel-side totals (identical across engines: the charge contract)."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.counter("kernel.instructions", help="DPU instructions, all cores").inc(
+            aggregate.instructions
+        )
+        m.counter("kernel.dma_requests", help="MRAM DMA requests, all cores").inc(
+            aggregate.dma_requests
+        )
+        m.counter("kernel.dma_bytes", help="MRAM DMA bytes, all cores").inc(
+            aggregate.dma_bytes
+        )
+        m.counter("pipeline.runs", help="completed pipeline runs").inc()
+
     def _run_misra_gries(self, kept: COOGraph, clock: SimClock) -> RemapTable:
         """Per-thread Misra-Gries over the node stream, merged, top-t extracted."""
         opts = self.options
@@ -423,6 +536,14 @@ class PimTcPipeline:
             self._host_seconds(opts.mg_host_cycles_per_edge, kept.num_edges),
         )
         top = merged.top(opts.misra_gries_t)
+        if self.telemetry.enabled:
+            m = self.telemetry.metrics
+            m.gauge("mg.summary_size", help="entries in the merged MG summary").set(
+                merged.size
+            )
+            m.gauge("mg.remapped_nodes", help="top-t nodes remapped in-core").set(
+                len(top)
+            )
         return RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=kept.num_nodes)
 
     @staticmethod

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..pimsim.kernel import SimClock
 from ..pimsim.trace import Trace
+from ..telemetry.spans import Telemetry
 
 __all__ = ["TcResult", "LocalTcResult", "KernelAggregate"]
 
@@ -54,6 +55,8 @@ class TcResult:
     meta: dict = field(default_factory=dict)
     #: Operation-level trace of the run (alloc/transfers/launches), if kept.
     trace: Trace | None = None
+    #: Telemetry recorder of the run (span tree + metrics), if kept.
+    telemetry: Telemetry | None = None
 
     # ------------------------------------------------------------- convenience
     @property
@@ -138,6 +141,16 @@ class TcResult:
                     "max_dpu_compute_seconds": self.kernel.max_dpu_compute_seconds,
                 }
                 if self.kernel
+                else None
+            ),
+            "trace": (
+                {
+                    "events": len(self.trace),
+                    "counts_by_kind": self.trace.counts_by_kind(),
+                    "total_seconds": float(self.trace.total_seconds()),
+                    "total_bytes": int(self.trace.total_bytes()),
+                }
+                if self.trace is not None
                 else None
             ),
             "meta": {k: v for k, v in self.meta.items() if not k.startswith("_")},

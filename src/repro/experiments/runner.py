@@ -49,6 +49,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write an SVG figure per experiment into this directory",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a telemetry JSON (one span per experiment run, plus the "
+             "harness metrics registry) after all experiments finish",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="write a chrome://tracing / Perfetto trace of the harness run",
+    )
     return parser
 
 
@@ -78,17 +91,40 @@ def _headline_chart(exp_id: str, table) -> str | None:
         return None
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: list[str] | None = None, telemetry=None) -> int:
+    """Run experiments; an optional ``Telemetry`` records one span per run.
+
+    A caller-supplied recorder (e.g. a service harness wrapping the runner)
+    is used as-is; otherwise one is created on demand when ``--metrics-out``
+    or ``--chrome-trace`` ask for exported telemetry.
+    """
     args = _build_parser().parse_args(argv)
     if args.experiment == "list":
         for exp in EXPERIMENTS.values():
             print(f"{exp.id:12s} {exp.paper_artifact:14s} {exp.description}")
         return 0
+    if telemetry is None and (args.metrics_out or args.chrome_trace):
+        from ..telemetry import Telemetry
+
+        telemetry = Telemetry()
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     chunks: list[str] = []
     for exp_id in ids:
         start = time.perf_counter()
-        table = run_experiment(exp_id, tier=args.tier, seed=args.seed)
+        if telemetry is not None:
+            with telemetry.span(exp_id) as span:
+                table = run_experiment(exp_id, tier=args.tier, seed=args.seed)
+                if span is not None:
+                    span.attrs["tier"] = args.tier
+                    span.attrs["rows"] = len(table.rows)
+            telemetry.metrics.gauge(
+                f"experiment.{exp_id}.rows", help="rows in the rendered table"
+            ).set(len(table.rows))
+            telemetry.metrics.counter(
+                "experiment.runs", help="experiments executed"
+            ).inc()
+        else:
+            table = run_experiment(exp_id, tier=args.tier, seed=args.seed)
         elapsed = time.perf_counter() - start
         if args.svg:
             from pathlib import Path
@@ -119,6 +155,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
+    if telemetry is not None and args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(
+                {
+                    "schema": "repro-experiments-telemetry/1",
+                    "tier": args.tier,
+                    "seed": args.seed,
+                    "spans": telemetry.to_dict(),
+                    "metrics": telemetry.metrics.snapshot(),
+                    "volatile_metrics": telemetry.metrics.snapshot(volatile=True),
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+    if telemetry is not None and args.chrome_trace:
+        from ..telemetry import write_chrome_trace
+
+        write_chrome_trace(args.chrome_trace, telemetry)
     return 0
 
 

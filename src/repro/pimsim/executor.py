@@ -40,8 +40,10 @@ keyword arguments, or the CLI's ``--executor/--jobs`` flags.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -73,6 +75,20 @@ def _launch_one(dpu: Dpu, kernel: Kernel) -> float:
     dpu.reset_charges()
     kernel.run(dpu)
     return dpu.compute_seconds()
+
+
+def _timed_task(fn: DpuTask, dpu: Dpu, payload: Any) -> tuple[Any, float]:
+    """Run one per-DPU task and measure its wall time *where it runs*.
+
+    The wrapper executes inside the worker (thread or process), so the
+    measured seconds are the worker's own, and the float travels back over
+    the same merge path as the result — the telemetry layer turns these into
+    per-DPU child spans without ever sharing a span tree across workers.
+    Module-level so ``partial(_timed_task, fn)`` stays picklable.
+    """
+    start = time.perf_counter()
+    result = fn(dpu, payload)
+    return result, time.perf_counter() - start
 
 
 def _run_chunk(
@@ -119,10 +135,25 @@ class Executor:
         """Apply ``fn(dpu, payload)`` to every DPU; results in DPU order."""
         raise NotImplementedError
 
+    def map_dpus_timed(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> list[tuple[Any, float]]:
+        """Like :meth:`map_dpus`, returning ``(result, worker_wall_seconds)``.
+
+        Used when a :class:`~repro.telemetry.spans.Telemetry` wants per-DPU
+        detail spans; the timing wrapper rides the engine's normal merge-back
+        path, so every engine supports it without special cases.
+        """
+        return self.map_dpus(partial(_timed_task, fn), dpus, payloads)
+
     # ------------------------------------------------------------- operations
     def launch(self, kernel: Kernel, dpus: list[Dpu]) -> list[float]:
         """Run ``kernel`` on every DPU; return per-DPU compute seconds."""
         return self.map_dpus(_launch_one, dpus, [kernel] * len(dpus))
+
+    def launch_timed(self, kernel: Kernel, dpus: list[Dpu]) -> list[tuple[float, float]]:
+        """Launch with per-DPU ``(compute_seconds, worker_wall_seconds)`` pairs."""
+        return self.map_dpus_timed(_launch_one, dpus, [kernel] * len(dpus))
 
     def gather(self, dpus: list[Dpu], symbol: str) -> list[np.ndarray]:
         """Pull one named MRAM buffer from every DPU.

@@ -13,11 +13,13 @@ choice changes host wall-clock only, never simulated time.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..common.errors import KernelLaunchError, PimAllocationError, TransferError
+from ..telemetry.spans import SpanRecord, Telemetry
 from .config import PimSystemConfig
 from .dpu import Dpu
 from .executor import Executor, SerialExecutor, make_executor
@@ -34,12 +36,18 @@ class PimSystem:
 
     config: PimSystemConfig = field(default_factory=PimSystemConfig)
 
-    def allocate(self, num_dpus: int, clock: SimClock | None = None) -> "DpuSet":
+    def allocate(
+        self,
+        num_dpus: int,
+        clock: SimClock | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> "DpuSet":
         """Allocate ``num_dpus`` PIM cores (the ``dpu_alloc`` analogue).
 
         Charges the setup phase with a base latency plus a per-rank term —
         allocating more DPUs takes longer, the overhead the paper points to
-        for the LiveJournal inversion in Fig. 4.
+        for the LiveJournal inversion in Fig. 4.  A ``telemetry`` recorder,
+        when given, receives one span per host-visible DPU operation.
         """
         if num_dpus < 1:
             raise PimAllocationError("must allocate at least one DPU")
@@ -49,17 +57,29 @@ class PimSystem:
             )
         clock = clock if clock is not None else SimClock()
         transfer = TransferModel(self.config)
-        ranks = transfer.ranks_used(num_dpus)
-        alloc_seconds = (
-            self.config.cost.alloc_base_latency + ranks * self.config.cost.rank_alloc_latency
+        span_ctx = (
+            telemetry.span("alloc", clock=clock)
+            if telemetry is not None and telemetry.enabled
+            else nullcontext()
         )
-        clock.advance("setup", alloc_seconds)
-        dpus = [
-            Dpu(dpu_id=i, config=self.config.dpu, cost=self.config.cost)
-            for i in range(num_dpus)
-        ]
-        trace = Trace()
-        trace.record("setup", "alloc", alloc_seconds, detail=f"{num_dpus} DPUs / {ranks} ranks")
+        with span_ctx as span:
+            ranks = transfer.ranks_used(num_dpus)
+            alloc_seconds = (
+                self.config.cost.alloc_base_latency
+                + ranks * self.config.cost.rank_alloc_latency
+            )
+            clock.advance("setup", alloc_seconds)
+            dpus = [
+                Dpu(dpu_id=i, config=self.config.dpu, cost=self.config.cost)
+                for i in range(num_dpus)
+            ]
+            trace = Trace()
+            trace.record(
+                "setup", "alloc", alloc_seconds, detail=f"{num_dpus} DPUs / {ranks} ranks"
+            )
+            if span is not None:
+                span.attrs["dpus"] = num_dpus
+                span.attrs["ranks"] = ranks
         executor = make_executor(self.config.executor, self.config.jobs)
         return DpuSet(
             system=self,
@@ -68,6 +88,7 @@ class PimSystem:
             transfer=transfer,
             trace=trace,
             executor=executor,
+            telemetry=telemetry,
         )
 
 
@@ -82,6 +103,7 @@ class DpuSet:
     trace: Trace = field(default_factory=Trace)
     kernel: Kernel | None = None
     executor: Executor = field(default_factory=SerialExecutor)
+    telemetry: Telemetry | None = None
     _freed: bool = False
 
     def __len__(self) -> int:
@@ -91,6 +113,24 @@ class DpuSet:
         if self._freed:
             raise KernelLaunchError("DPU set has been freed")
 
+    # -------------------------------------------------------------- telemetry
+    def _span(self, name: str):
+        """Open a telemetry span for one DPU operation (no-op when untracked)."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return nullcontext()
+        return self.telemetry.span(name, clock=self.clock)
+
+    def _count_transfer(self, kind: str, payload_bytes: int) -> None:
+        if self.telemetry is None or not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            f"transfer.{kind}.bytes", help=f"host<->PIM bytes moved by {kind}"
+        ).inc(payload_bytes)
+        metrics.counter(
+            f"transfer.{kind}.ops", help=f"number of {kind} operations"
+        ).inc()
+
     # ----------------------------------------------------------------- kernel
     def load_kernel(self, kernel: Kernel, phase: str = "setup") -> None:
         """Load a kernel into every DPU (the ``dpu_load`` analogue).
@@ -99,13 +139,16 @@ class DpuSet:
         per-rank load latency.
         """
         self._check_alive()
-        for dpu in self.dpus:
-            dpu.wram.apply_plan(kernel.wram_plan(dpu))
-        ranks = self.transfer.ranks_used(len(self.dpus))
-        load_seconds = ranks * self.system.config.cost.kernel_load_latency
-        self.clock.advance(phase, load_seconds)
-        self.trace.record(phase, "load_kernel", load_seconds, detail=kernel.name)
-        self.kernel = kernel
+        with self._span("load_kernel") as span:
+            for dpu in self.dpus:
+                dpu.wram.apply_plan(kernel.wram_plan(dpu))
+            ranks = self.transfer.ranks_used(len(self.dpus))
+            load_seconds = ranks * self.system.config.cost.kernel_load_latency
+            self.clock.advance(phase, load_seconds)
+            self.trace.record(phase, "load_kernel", load_seconds, detail=kernel.name)
+            self.kernel = kernel
+            if span is not None:
+                span.attrs["kernel"] = kernel.name
 
     def launch(self, phase: str = "triangle_count") -> None:
         """Run the loaded kernel on every DPU; advance clock by the slowest DPU.
@@ -117,22 +160,62 @@ class DpuSet:
         self._check_alive()
         if self.kernel is None:
             raise KernelLaunchError("no kernel loaded")
-        times = self.executor.launch(self.kernel, self.dpus)
-        launch_seconds = self.system.config.cost.launch_latency + (max(times) if times else 0.0)
-        self.clock.advance(phase, launch_seconds)
-        self.trace.record(
-            phase, "launch", launch_seconds, detail=f"{self.kernel.name} on {len(self.dpus)} DPUs"
-        )
+        tel = self.telemetry
+        with self._span("launch") as span:
+            if tel is not None and tel.enabled and tel.detail:
+                # Timed path: workers measure their own wall clock; the pairs
+                # ride the engine's merge-back and become per-DPU child spans.
+                timed = self.executor.launch_timed(self.kernel, self.dpus)
+                times = [sim for sim, _ in timed]
+                tel.attach_records(
+                    [
+                        SpanRecord(
+                            name=f"dpu{dpu.dpu_id}",
+                            wall_seconds=wall,
+                            sim_seconds=sim,
+                        )
+                        for dpu, (sim, wall) in zip(self.dpus, timed)
+                    ]
+                )
+                tel.metrics.counter(
+                    "executor.worker_wall_seconds",
+                    help="summed per-DPU worker wall time (all launches)",
+                    volatile=True,
+                ).inc(sum(wall for _, wall in timed))
+            else:
+                times = self.executor.launch(self.kernel, self.dpus)
+            launch_seconds = self.system.config.cost.launch_latency + (
+                max(times) if times else 0.0
+            )
+            self.clock.advance(phase, launch_seconds)
+            self.trace.record(
+                phase,
+                "launch",
+                launch_seconds,
+                detail=f"{self.kernel.name} on {len(self.dpus)} DPUs",
+            )
+            if span is not None:
+                span.attrs["kernel"] = self.kernel.name
+                span.attrs["dpus"] = len(self.dpus)
+            if tel is not None and tel.enabled:
+                tel.metrics.counter(
+                    "executor.launches", help="kernel launches issued"
+                ).inc()
+                tel.metrics.counter(
+                    "executor.dpu_tasks", help="per-DPU kernel executions"
+                ).inc(len(self.dpus))
 
     # -------------------------------------------------------------- transfers
     def broadcast(self, symbol: str, array: np.ndarray, phase: str = "sample_creation") -> None:
         """Copy the same buffer into every DPU's MRAM."""
         self._check_alive()
-        stats = self.transfer.broadcast(int(array.nbytes), len(self.dpus))
-        self.clock.advance(phase, stats.seconds)
-        self.trace.record(phase, "broadcast", stats.seconds, stats.payload_bytes, symbol)
-        for dpu in self.dpus:
-            dpu.mram.store(symbol, array, count_write=False)
+        with self._span("broadcast"):
+            stats = self.transfer.broadcast(int(array.nbytes), len(self.dpus))
+            self.clock.advance(phase, stats.seconds)
+            self.trace.record(phase, "broadcast", stats.seconds, stats.payload_bytes, symbol)
+            self._count_transfer("broadcast", stats.payload_bytes)
+            for dpu in self.dpus:
+                dpu.mram.store(symbol, array, count_write=False)
 
     def scatter(
         self, symbol: str, arrays: list[np.ndarray], phase: str = "sample_creation"
@@ -143,21 +226,27 @@ class DpuSet:
             raise TransferError(
                 f"scatter needs {len(self.dpus)} buffers, got {len(arrays)}"
             )
-        sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
-        stats = self.transfer.scatter(sizes)
-        self.clock.advance(phase, stats.seconds)
-        self.trace.record(phase, "scatter", stats.seconds, stats.payload_bytes, symbol)
-        for dpu, arr in zip(self.dpus, arrays):
-            dpu.mram.store(symbol, arr, count_write=False)
+        with self._span("scatter"):
+            sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
+            stats = self.transfer.scatter(sizes)
+            self.clock.advance(phase, stats.seconds)
+            self.trace.record(phase, "scatter", stats.seconds, stats.payload_bytes, symbol)
+            self._count_transfer("scatter", stats.payload_bytes)
+            for dpu, arr in zip(self.dpus, arrays):
+                dpu.mram.store(symbol, arr, count_write=False)
 
     def gather(self, symbol: str, phase: str = "triangle_count") -> list[np.ndarray]:
         """Pull one named buffer back from every DPU."""
         self._check_alive()
-        arrays = self.executor.gather(self.dpus, symbol)
-        sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
-        stats = self.transfer.gather(sizes)
-        self.clock.advance(phase, stats.seconds)
-        self.trace.record(phase, "gather", stats.seconds, stats.payload_bytes, symbol)
+        with self._span("gather") as span:
+            arrays = self.executor.gather(self.dpus, symbol)
+            sizes = np.array([a.nbytes for a in arrays], dtype=np.int64)
+            stats = self.transfer.gather(sizes)
+            self.clock.advance(phase, stats.seconds)
+            self.trace.record(phase, "gather", stats.seconds, stats.payload_bytes, symbol)
+            self._count_transfer("gather", stats.payload_bytes)
+            if span is not None:
+                span.attrs["symbol"] = symbol
         return arrays
 
     # ------------------------------------------------------------------ free

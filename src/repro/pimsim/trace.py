@@ -64,8 +64,13 @@ class Trace:
         return totals
 
     def merge(self, other: "Trace") -> None:
-        """Append another trace's events (e.g. a sub-run's ledger) in order."""
-        self.events.extend(other.events)
+        """Append another trace's events (e.g. a sub-run's ledger) in order.
+
+        Honors ``enabled`` like :meth:`record` does — a disabled trace stays
+        empty no matter how many sub-run ledgers are merged into it.
+        """
+        if self.enabled:
+            self.events.extend(other.events)
 
     def total_seconds(self, kind: str | None = None) -> float:
         return sum(e.seconds for e in self.events if kind is None or e.kind == kind)

@@ -1,0 +1,292 @@
+"""Exporters: run reports (JSON), metrics CSV, Chrome-trace, profile table.
+
+Three consumers, three formats:
+
+* **RunReport** — the machine-readable record of one run: the
+  :meth:`TcResult.to_dict` summary, the span tree, and both metric
+  snapshots, under one ``schema`` tag.  ``benchmarks/bench_report.py``
+  bundles these into the ``BENCH_telemetry.json`` trajectory, and
+  :func:`validate_run_report` is the (dependency-free) schema check CI runs
+  on the CLI's ``--metrics-out`` output.
+* **Chrome trace** — a ``chrome://tracing`` / Perfetto ``traceEvents`` file
+  with two process tracks: the wall-clock span tree (track "host wall") and
+  the simulated operation timeline reconstructed from the
+  :class:`~repro.pimsim.trace.Trace` ledger (track "simulated PIM"), so the
+  two clocks of `docs/architecture.md` §3 can be eyeballed side by side.
+* **Profile table** — ``repro-count --profile``'s sorted self-time view of
+  the span tree, one line per distinct span path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .spans import Span, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pimsim uses us)
+    from ..pimsim.trace import Trace
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_csv",
+    "render_profile",
+    "validate_run_report",
+]
+
+#: Schema tag embedded in (and required of) every run report.
+RUN_REPORT_SCHEMA = "repro-run-report/1"
+
+
+# --------------------------------------------------------------------- report
+@dataclass
+class RunReport:
+    """One run, fully described: result + spans + metrics in a stable schema."""
+
+    result: dict
+    spans: dict
+    metrics: dict
+    volatile_metrics: dict = field(default_factory=dict)
+    graph: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: Any, graph: Any = None, config: dict | None = None) -> "RunReport":
+        """Bundle a :class:`~repro.core.result.TcResult` and its telemetry.
+
+        ``result.telemetry`` supplies the span tree and metric snapshots;
+        a result produced with telemetry disabled yields empty sections.
+        """
+        tel: Telemetry | None = getattr(result, "telemetry", None)
+        graph_info = {}
+        if graph is not None:
+            graph_info = {
+                "name": graph.name,
+                "num_nodes": int(graph.num_nodes),
+                "num_edges": int(graph.num_edges),
+            }
+        return cls(
+            result=result.to_dict(),
+            spans=tel.to_dict() if tel is not None else {"enabled": False, "spans": []},
+            metrics=tel.metrics.snapshot() if tel is not None else {},
+            volatile_metrics=tel.metrics.snapshot(volatile=True) if tel is not None else {},
+            graph=graph_info,
+            config=dict(config or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RUN_REPORT_SCHEMA,
+            "graph": self.graph,
+            "config": self.config,
+            "result": self.result,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "volatile_metrics": self.volatile_metrics,
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _validate_span(node: dict, where: str, errors: list[str]) -> None:
+    for key, kind in (
+        ("name", str),
+        ("path", str),
+        ("wall_seconds", (int, float)),
+        ("sim_seconds", (int, float)),
+        ("children", list),
+    ):
+        if key not in node:
+            errors.append(f"{where}: span missing {key!r}")
+        elif not isinstance(node[key], kind):
+            errors.append(f"{where}: span {key!r} has type {type(node[key]).__name__}")
+    for i, child in enumerate(node.get("children", []) or []):
+        if isinstance(child, dict):
+            _validate_span(child, f"{where}.children[{i}]", errors)
+        else:
+            errors.append(f"{where}.children[{i}]: not an object")
+
+
+def validate_run_report(data: dict) -> list[str]:
+    """Structural schema check; returns one error string per violation.
+
+    Deliberately dependency-free (no ``jsonschema`` in the image): checks
+    the schema tag, the required sections, span-tree shape, metric entry
+    shape, and that the result carries the paper's phase ledger.
+    """
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return ["report: not a JSON object"]
+    if data.get("schema") != RUN_REPORT_SCHEMA:
+        errors.append(
+            f"report: schema is {data.get('schema')!r}, expected {RUN_REPORT_SCHEMA!r}"
+        )
+    for section in ("graph", "config", "result", "spans", "metrics", "volatile_metrics"):
+        if not isinstance(data.get(section), dict):
+            errors.append(f"report: missing or non-object section {section!r}")
+    result = data.get("result")
+    if isinstance(result, dict):
+        if not isinstance(result.get("phases"), dict):
+            errors.append("result: missing 'phases' object")
+        for key in ("estimate", "num_colors", "num_dpus"):
+            if key not in result:
+                errors.append(f"result: missing {key!r}")
+    spans = data.get("spans")
+    if isinstance(spans, dict):
+        for i, node in enumerate(spans.get("spans", []) or []):
+            if isinstance(node, dict):
+                _validate_span(node, f"spans[{i}]", errors)
+            else:
+                errors.append(f"spans[{i}]: not an object")
+    for section in ("metrics", "volatile_metrics"):
+        metrics = data.get(section)
+        if not isinstance(metrics, dict):
+            continue
+        for name, entry in metrics.items():
+            if not isinstance(entry, dict) or "kind" not in entry:
+                errors.append(f"{section}[{name}]: missing 'kind'")
+            elif entry["kind"] not in ("counter", "gauge", "histogram"):
+                errors.append(f"{section}[{name}]: unknown kind {entry['kind']!r}")
+            elif entry["kind"] in ("counter", "gauge") and "value" not in entry:
+                errors.append(f"{section}[{name}]: missing 'value'")
+            elif entry["kind"] == "histogram" and (
+                "buckets" not in entry or "counts" not in entry
+            ):
+                errors.append(f"{section}[{name}]: histogram missing buckets/counts")
+    return errors
+
+
+# ----------------------------------------------------------------------- csv
+def metrics_to_csv(snapshot: dict) -> str:
+    """Flatten a metrics snapshot to ``name,kind,field,value`` CSV rows."""
+    out = io.StringIO()
+    out.write("name,kind,field,value\n")
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "")
+        if kind == "histogram":
+            for bound, count in zip(
+                list(entry["buckets"]) + ["inf"], entry["counts"]
+            ):
+                out.write(f"{name},{kind},le_{bound},{count}\n")
+            out.write(f"{name},{kind},sum,{entry['sum']}\n")
+            out.write(f"{name},{kind},count,{entry['count']}\n")
+        else:
+            out.write(f"{name},{kind},value,{entry.get('value', '')}\n")
+    return out.getvalue()
+
+
+# --------------------------------------------------------------- chrome trace
+def _span_events(span: Span, depth: int, events: list[dict]) -> None:
+    events.append(
+        {
+            "name": span.name or "run",
+            "cat": "span",
+            "ph": "X",
+            "ts": span.wall_start * 1e6,
+            "dur": span.wall_seconds * 1e6,
+            "pid": 1,
+            "tid": depth,
+            "args": {
+                "path": span.path,
+                "sim_seconds": span.sim_seconds,
+                **span.attrs,
+            },
+        }
+    )
+    for child in span.children:
+        _span_events(child, depth + 1, events)
+
+
+def chrome_trace(telemetry: Telemetry, trace: Trace | None = None) -> dict:
+    """Build a Chrome/Perfetto ``traceEvents`` document.
+
+    Track ``pid=1`` holds the wall-clock span tree, one ``tid`` per nesting
+    depth.  Track ``pid=2``, when a simulator :class:`Trace` is given, lays
+    the operation ledger out on the *simulated* axis (cumulative simulated
+    microseconds), which is the timeline the paper's numbers live on.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "host wall clock"}},
+    ]
+    for child in telemetry.root.children:
+        _span_events(child, 0, events)
+    if trace is not None:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": 2,
+             "args": {"name": "simulated PIM timeline"}}
+        )
+        cursor = 0.0
+        for event in trace.events:
+            events.append(
+                {
+                    "name": event.kind,
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": cursor * 1e6,
+                    "dur": event.seconds * 1e6,
+                    "pid": 2,
+                    "tid": 0,
+                    "args": {
+                        "phase": event.phase,
+                        "payload_bytes": event.payload_bytes,
+                        "detail": event.detail,
+                    },
+                }
+            )
+            cursor += event.seconds
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, telemetry: Telemetry, trace: Trace | None = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(telemetry, trace), fh)
+        fh.write("\n")
+
+
+# -------------------------------------------------------------------- profile
+def render_profile(telemetry: Telemetry) -> str:
+    """Sorted self-time table over the span tree (``--profile`` output).
+
+    Aggregates by span path (a path opened N times contributes one row with
+    ``calls=N``), sorts by simulated self-time descending with wall-clock
+    self-time as the tiebreaker, and prints both clocks in milliseconds.
+    """
+    rows: dict[str, list[float]] = {}
+    order: list[str] = []
+    for top in telemetry.root.children:
+        for span in top.walk():
+            agg = rows.get(span.path)
+            if agg is None:
+                rows[span.path] = [
+                    1, span.sim_seconds, span.sim_self_seconds,
+                    span.wall_seconds, span.wall_self_seconds,
+                ]
+                order.append(span.path)
+            else:
+                agg[0] += 1
+                agg[1] += span.sim_seconds
+                agg[2] += span.sim_self_seconds
+                agg[3] += span.wall_seconds
+                agg[4] += span.wall_self_seconds
+    ranked = sorted(order, key=lambda p: (-rows[p][2], -rows[p][4], p))
+    lines = [
+        f"{'span':<40} {'calls':>6} {'sim total':>12} {'sim self':>12} "
+        f"{'wall total':>12} {'wall self':>12}"
+    ]
+    for path in ranked:
+        calls, sim, sim_self, wall, wall_self = rows[path]
+        lines.append(
+            f"{path:<40} {int(calls):>6} {sim * 1e3:>10.3f}ms {sim_self * 1e3:>10.3f}ms "
+            f"{wall * 1e3:>10.3f}ms {wall_self * 1e3:>10.3f}ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Typed metrics registry: counters, gauges, fixed-bucket histograms.
+
+The scalar side of the telemetry layer.  The pipeline records the
+quantities the paper's evaluation argues from — per-DPU edges routed
+(load balance, Sec. 3.1), reservoir occupancy (Sec. 3.3), Misra-Gries
+summary size (Sec. 3.5), kernel instruction/DMA totals (Sec. 4.4) — as
+named instruments in one :class:`MetricsRegistry`.
+
+**Determinism contract.**  Instruments are only ever updated from the
+parent process with values that are themselves engine-invariant (partition
+counts, charge ledgers, simulated seconds), so ``snapshot()`` is
+bit-identical across the serial/thread/process executors.  Wall-clock
+derived instruments (worker utilization) are declared ``volatile=True`` and
+excluded from the default snapshot; they appear only in the separate
+``snapshot(volatile=True)`` view that run reports store alongside.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..common.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_FRACTION_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Upper bounds for ratio-like histograms (occupancy, utilization).
+DEFAULT_FRACTION_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0,
+)
+#: Power-of-4 upper bounds for size-like histograms (edges, bytes).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = tuple(float(4**k) for k in range(1, 13))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total (``.inc()``)."""
+
+    name: str
+    help: str = ""
+    volatile: bool = False
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name} cannot decrease")
+        self.value += float(amount)
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": float(self.value)}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value (``.set()``)."""
+
+    name: str
+    help: str = ""
+    volatile: bool = False
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": "gauge", "value": float(self.value)}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max.
+
+    ``buckets`` are ascending upper bounds; an implicit ``+inf`` bucket
+    catches the overflow.  Buckets are fixed at construction so snapshots
+    from different runs are directly comparable (the trajectory files in
+    ``BENCH_telemetry.json`` rely on this).
+    """
+
+    name: str
+    buckets: tuple[float, ...]
+    help: str = ""
+    volatile: bool = False
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    min_value: float = math.inf
+    max_value: float = -math.inf
+
+    def __post_init__(self) -> None:
+        bounds = tuple(float(b) for b in self.buckets)
+        if not bounds or any(nxt <= prev for prev, nxt in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {self.name} needs strictly ascending buckets, got {bounds}"
+            )
+        self.buckets = bounds
+        if not self.counts:
+            self.counts = [0] * (len(bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        for i, bound in enumerate(self.buckets):
+            if v <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += v
+        self.count += 1
+        self.min_value = min(self.min_value, v)
+        self.max_value = max(self.max_value, v)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": float(self.total),
+            "count": int(self.count),
+            "min": float(self.min_value) if self.count else None,
+            "max": float(self.max_value) if self.count else None,
+        }
+
+
+_Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type) -> _Instrument:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", volatile: bool = False) -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name=name, help=help, volatile=volatile), Counter
+        )
+
+    def gauge(self, name: str, help: str = "", volatile: bool = False) -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name=name, help=help, volatile=volatile), Gauge
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SIZE_BUCKETS,
+        help: str = "",
+        volatile: bool = False,
+    ) -> Histogram:
+        return self._get_or_create(
+            name,
+            lambda: Histogram(
+                name=name, buckets=tuple(buckets), help=help, volatile=volatile
+            ),
+            Histogram,
+        )
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self, volatile: bool = False) -> dict:
+        """All instruments of one volatility class, sorted by name.
+
+        The default (``volatile=False``) view contains only deterministic
+        instruments and is the one compared bit-for-bit across executors;
+        ``volatile=True`` returns the wall-clock-derived remainder.
+        """
+        return {
+            name: m.snapshot()
+            for name, m in sorted(self._metrics.items())
+            if m.volatile == volatile
+        }

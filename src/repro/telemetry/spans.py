@@ -1,0 +1,242 @@
+"""Hierarchical spans carrying both simulated and wall-clock time.
+
+The paper's evaluation (Sec. 4) is phrased entirely in phase timings —
+Setup / Sample Creation / Triangle Count — with per-DPU load balance under
+them.  A :class:`Span` is one node of that hierarchy: it knows its position
+in the tree (``sample_creation/scatter``), the **wall-clock** seconds the
+host actually spent inside it (``time.perf_counter``), and the **simulated**
+seconds the cost model charged while it was open (captured by snapshotting a
+:class:`~repro.pimsim.kernel.SimClock` at entry and exit).
+
+:class:`Telemetry` is the per-run recorder the pipeline threads everywhere:
+
+* ``with tel.span("scatter", clock=clock):`` opens a child of whatever span
+  is currently open, so nesting follows the call structure for free;
+* workers of the thread/process execution engines cannot touch the shared
+  span stack — they time themselves locally and hand back a flat, picklable
+  :class:`SpanRecord` which the parent stitches into the tree in DPU order
+  (:meth:`Telemetry.attach_records`, fed by the executors' timed map path);
+* the attached :class:`~repro.telemetry.metrics.MetricsRegistry` collects
+  the scalar side (counters / gauges / histograms).
+
+Only the *parent* process ever mutates a ``Telemetry``; simulated seconds
+and every metric recorded from them are bit-identical across the serial,
+thread and process engines (the executor determinism contract), while wall
+times are honest measurements and therefore vary run to run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pimsim uses us)
+    from ..pimsim.kernel import SimClock
+
+__all__ = ["Span", "SpanRecord", "Telemetry", "PHASE_NAMES"]
+
+#: The paper's three top-level phases, in pipeline order.
+PHASE_NAMES: tuple[str, ...] = ("setup", "sample_creation", "triangle_count")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """Flat, picklable span measured inside an executor worker.
+
+    Workers (thread or process) must not touch the shared span tree, so they
+    report ``(name, wall, sim)`` triples that the parent turns into child
+    spans after the merge-back — the span analogue of the mutated-DPU
+    splicing in :mod:`repro.pimsim.executor`.
+    """
+
+    name: str
+    wall_seconds: float
+    sim_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One node of the span tree."""
+
+    #: Leaf name (no ``/``); the path encodes the hierarchy.
+    name: str
+    #: Full path from the root, e.g. ``sample_creation/scatter``.
+    path: str
+    #: Wall-clock start, seconds since the owning telemetry's epoch.
+    wall_start: float = 0.0
+    #: Wall-clock seconds spent inside the span (including children).
+    wall_seconds: float = 0.0
+    #: Simulated seconds charged while the span was open (including children).
+    sim_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    # ----------------------------------------------------------------- queries
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and every descendant."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, path: str) -> "Span | None":
+        """First descendant (or self) whose path equals ``path``."""
+        for span in self.walk():
+            if span.path == path:
+                return span
+        return None
+
+    @property
+    def sim_self_seconds(self) -> float:
+        """Simulated seconds not attributed to any child span.
+
+        Clamped at zero: children that ran *concurrently* (the per-DPU detail
+        spans — real DPUs overlap, so the parent charges only the slowest)
+        can sum to more than the parent's own duration.
+        """
+        return max(0.0, self.sim_seconds - sum(c.sim_seconds for c in self.children))
+
+    @property
+    def wall_self_seconds(self) -> float:
+        """Wall seconds not attributed to any child span (clamped like sim)."""
+        return max(0.0, self.wall_seconds - sum(c.wall_seconds for c in self.children))
+
+    def to_dict(self) -> dict:
+        """Nested JSON form (the ``spans`` section of a run report)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "wall_start": float(self.wall_start),
+            "wall_seconds": float(self.wall_seconds),
+            "sim_seconds": float(self.sim_seconds),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Telemetry:
+    """Span tree + metrics registry for one (or more) pipeline runs.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every recording call into a no-op (``span`` yields
+        ``None``); the pipeline still runs identically.
+    detail:
+        When ``True``, the executors' per-DPU timings are stitched in as
+        child spans (hundreds of spans per launch).  ``False`` — the default
+        — keeps only the phase/operation spans, whose overhead is a handful
+        of ``perf_counter`` calls per run.
+    """
+
+    def __init__(self, enabled: bool = True, detail: bool = False) -> None:
+        self.enabled = enabled
+        self.detail = detail
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+        self.root = Span(name="", path="")
+        self._stack: list[Span] = [self.root]
+
+    # ------------------------------------------------------------------ spans
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    def _child_path(self, name: str) -> str:
+        parent = self._stack[-1]
+        return f"{parent.path}/{name}" if parent.path else name
+
+    @contextmanager
+    def span(self, name: str, clock: "SimClock | None" = None):
+        """Open a child span of the current span.
+
+        ``clock`` attributes simulated time: the span's ``sim_seconds`` is
+        the growth of ``clock.total()`` between entry and exit, so every
+        ``clock.advance`` made inside lands in this span (and, transitively,
+        in each open ancestor).
+        """
+        if not self.enabled:
+            yield None
+            return
+        span = Span(
+            name=name,
+            path=self._child_path(name),
+            wall_start=time.perf_counter() - self._epoch,
+        )
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        sim_start = clock.total() if clock is not None else 0.0
+        wall_start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_seconds = time.perf_counter() - wall_start
+            if clock is not None:
+                span.sim_seconds = clock.total() - sim_start
+            self._stack.pop()
+
+    def attach_records(self, records: list[SpanRecord]) -> None:
+        """Stitch worker-measured records in as children of the current span.
+
+        Records arrive in DPU order (the executors return results by index),
+        so the tree shape is deterministic even though the wall times are
+        whatever the workers measured.
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1]
+        for record in records:
+            parent.children.append(
+                Span(
+                    name=record.name,
+                    path=f"{parent.path}/{record.name}" if parent.path else record.name,
+                    wall_start=parent.wall_start,
+                    wall_seconds=record.wall_seconds,
+                    sim_seconds=record.sim_seconds,
+                    attrs=dict(record.attrs),
+                )
+            )
+
+    # ---------------------------------------------------------------- queries
+    def find(self, path: str) -> Span | None:
+        """First span with the given path (depth-first)."""
+        for child in self.root.children:
+            found = child.find(path)
+            if found is not None:
+                return found
+        return None
+
+    def phase_totals(self) -> dict[str, float]:
+        """Simulated seconds per top-level span, summed over repeated runs.
+
+        For a single pipeline run this equals ``SimClock.phases`` (the
+        acceptance invariant pinned by the telemetry tests).
+        """
+        totals: dict[str, float] = {}
+        for span in self.root.children:
+            totals[span.name] = totals.get(span.name, 0.0) + span.sim_seconds
+        return totals
+
+    def span_signature(self) -> list[tuple[str, float]]:
+        """Deterministic shape of the tree: ``(path, sim_seconds)`` pairs.
+
+        Wall times are excluded on purpose — they are real measurements and
+        differ between engines; paths and simulated seconds must not (the
+        executor parity contract, checked by the differential harness).
+        """
+        out: list[tuple[str, float]] = []
+        for child in self.root.children:
+            out.extend((s.path, s.sim_seconds) for s in child.walk())
+        return out
+
+    def to_dict(self) -> dict:
+        """The span forest as JSON (one entry per top-level span)."""
+        return {
+            "enabled": self.enabled,
+            "detail": self.detail,
+            "spans": [c.to_dict() for c in self.root.children],
+        }

@@ -5,8 +5,10 @@ tasklet kernel, the vectorized kernel, the probe kernel, the full PIM
 pipeline under three host execution engines, two CPU baseline models, and
 two test-only references.  On the exact path (no sampling) all of them must
 return *bit-identical* integer counts, and the three execution engines must
-additionally produce bit-identical simulated clocks, charge ledgers and
-traces (the determinism contract of :mod:`repro.pimsim.executor`).
+additionally produce bit-identical simulated clocks, charge ledgers, traces,
+telemetry span trees and metric snapshots (the determinism contract of
+:mod:`repro.pimsim.executor`; wall-clock span fields are excluded — they are
+real measurements).
 
 :class:`DifferentialRunner` executes the full
 ``kernel × executor × baseline`` grid on one graph and returns a
@@ -96,6 +98,13 @@ def _trace_tuples(result: TcResult) -> list[tuple]:
         (e.phase, e.kind, e.seconds, e.payload_bytes, e.detail)
         for e in result.trace.events
     ]
+
+
+def _span_signature(result: TcResult) -> list[tuple[str, float]]:
+    """Span-tree shape + simulated seconds (wall times excluded on purpose)."""
+    if result.telemetry is None:
+        return []
+    return result.telemetry.span_signature()
 
 
 def _charge_signature(result: TcResult) -> tuple:
@@ -233,3 +242,13 @@ class DifferentialRunner:
                 )
             if _trace_tuples(result) != _trace_tuples(anchor):
                 report.parity_failures.append(f"{prefix}: trace events differ")
+            if _span_signature(result) != _span_signature(anchor):
+                report.parity_failures.append(
+                    f"{prefix}: telemetry span tree differs"
+                )
+            a_snap = anchor.telemetry.metrics.snapshot() if anchor.telemetry else {}
+            b_snap = result.telemetry.metrics.snapshot() if result.telemetry else {}
+            if a_snap != b_snap:
+                report.parity_failures.append(
+                    f"{prefix}: metrics snapshot differs"
+                )

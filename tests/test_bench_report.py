@@ -1,0 +1,47 @@
+"""benchmarks/bench_report.py — the fig3-style telemetry sweep artifact."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_report.py"
+
+
+@pytest.fixture(scope="module")
+def bench_report():
+    spec = importlib.util.spec_from_file_location("bench_report", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_sweep_covers_every_tiny_graph(bench_report):
+    from repro.experiments.common import paper_graph_order_by_max_degree
+
+    document = bench_report.run_sweep("tiny", seed=0)
+    assert document["schema"] == bench_report.BENCH_SCHEMA
+    assert [r["graph"] for r in document["runs"]] == list(
+        paper_graph_order_by_max_degree("tiny")
+    )
+    for run in document["runs"]:
+        assert set(run["phases"]) == {"setup", "sample_creation", "triangle_count"}
+        assert run["count"] >= 0
+        assert run["wall_seconds"] > 0
+        assert "pim.edges_routed" in run["metrics"]
+        assert [s["path"] for s in run["spans"]] == [
+            "setup", "sample_creation", "triangle_count",
+        ]
+
+
+def test_main_writes_json(bench_report, tmp_path, capsys):
+    out = tmp_path / "BENCH_telemetry.json"
+    assert bench_report.main(["--tier", "tiny", "--colors", "3", "--out", str(out)]) == 0
+    assert str(out) in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro-bench-telemetry/1"
+    assert document["colors"] == 3
+    assert len(document["runs"]) > 0

@@ -65,6 +65,68 @@ class TestDatasetSpecs:
             main(["dataset:orkut", "--misra-gries", "1024"])
 
 
+class TestTelemetryFlags:
+    def test_metrics_out_writes_valid_run_report(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_run_report
+
+        out = tmp_path / "report.json"
+        assert main(
+            ["dataset:orkut", "--tier", "tiny", "--colors", "4",
+             "--metrics-out", str(out)]
+        ) == 0
+        assert f"metrics report written to {out}" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert validate_run_report(data) == []
+        assert data["config"]["tier"] == "tiny"
+        assert data["graph"]["name"]
+
+    def test_metrics_out_csv(self, tmp_path):
+        out = tmp_path / "metrics.csv"
+        assert main(
+            ["dataset:orkut", "--tier", "tiny", "--colors", "4",
+             "--metrics-out", str(out)]
+        ) == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "name,kind,field,value"
+        assert any(l.startswith("pim.edges_routed,histogram,") for l in lines)
+
+    def test_chrome_trace_has_both_tracks(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["dataset:orkut", "--tier", "tiny", "--colors", "4",
+             "--chrome-trace", str(out)]
+        ) == 0
+        assert "chrome trace written" in capsys.readouterr().out
+        events = json.loads(out.read_text())["traceEvents"]
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_profile_prints_span_table(self, capsys):
+        assert main(
+            ["dataset:orkut", "--tier", "tiny", "--colors", "4", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sim self" in out
+        assert "triangle_count/launch" in out
+
+    def test_report_describes_last_trial(self, tmp_path):
+        """A fresh recorder per trial: the report is one run, not a sum."""
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(
+            ["dataset:orkut", "--tier", "tiny", "--colors", "4",
+             "--uniform-p", "0.5", "--trials", "3", "--metrics-out", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["metrics"]["pipeline.runs"]["value"] == 1.0
+        top = [s["path"] for s in data["spans"]["spans"]]
+        assert top == ["setup", "sample_creation", "triangle_count"]
+
+
 class TestFileSpecs:
     def test_edge_list_file(self, tmp_path, small_graph, capsys):
         path = tmp_path / "g.el"

@@ -32,6 +32,42 @@ class TestTrace:
         assert "alloc" in text and "4 DPUs" in text
         assert "11.000 ms" in text  # cumulative on the second line
 
+    def test_render_timeline_header_and_columns(self):
+        t = Trace()
+        t.record("sample_creation", "scatter", 0.002, payload_bytes=4096, detail="r0")
+        lines = render_timeline(t).splitlines()
+        assert lines[0].split() == ["t", "(cum)", "dt", "phase", "op", "payload", "detail"]
+        row = lines[1]
+        assert "sample_creation" in row
+        assert "scatter" in row
+        assert "4.0 KiB" in row  # payload formatted via fmt_bytes
+        assert row.rstrip().endswith("r0")
+
+    def test_render_timeline_dash_for_zero_payload(self):
+        t = Trace()
+        t.record("setup", "alloc", 0.01)
+        row = render_timeline(t).splitlines()[1]
+        assert " - " in f"{row} "  # compute-only events show '-' not '0 B'
+
+    def test_render_timeline_empty_trace_is_header_only(self):
+        assert len(render_timeline(Trace()).splitlines()) == 1
+
+    def test_merge_appends_in_order(self):
+        a, b = Trace(), Trace()
+        a.record("setup", "alloc", 0.01)
+        b.record("triangle_count", "launch", 0.02)
+        a.merge(b)
+        assert a.kinds() == ["alloc", "launch"]
+        assert a.counts_by_kind() == {"alloc": 1, "launch": 1}
+
+    def test_merge_respects_enabled(self):
+        """A disabled trace must stay empty even when sub-runs merge into it."""
+        sink = Trace(enabled=False)
+        sub = Trace()
+        sub.record("triangle_count", "launch", 0.02)
+        sink.merge(sub)
+        assert len(sink) == 0
+
 
 class TestDpuSetTracing:
     def test_operation_sequence(self):

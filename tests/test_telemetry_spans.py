@@ -1,0 +1,135 @@
+"""Telemetry spans: nesting, clock attribution, worker-record stitching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pimsim.kernel import SimClock
+from repro.telemetry import Span, SpanRecord, Telemetry
+
+
+class TestSpanTree:
+    def test_nesting_builds_paths(self):
+        tel = Telemetry()
+        with tel.span("sample_creation"):
+            with tel.span("scatter"):
+                pass
+            with tel.span("insert"):
+                pass
+        (top,) = tel.root.children
+        assert top.path == "sample_creation"
+        assert [c.path for c in top.children] == [
+            "sample_creation/scatter",
+            "sample_creation/insert",
+        ]
+
+    def test_clock_attribution(self):
+        tel = Telemetry()
+        clock = SimClock()
+        with tel.span("sample_creation", clock=clock):
+            clock.advance("sample_creation", 0.5)
+            with tel.span("scatter", clock=clock):
+                clock.advance("sample_creation", 0.25)
+        top = tel.find("sample_creation")
+        child = tel.find("sample_creation/scatter")
+        assert top.sim_seconds == pytest.approx(0.75)
+        assert child.sim_seconds == pytest.approx(0.25)
+        assert top.sim_self_seconds == pytest.approx(0.5)
+
+    def test_wall_clock_measured(self):
+        tel = Telemetry()
+        with tel.span("x"):
+            pass
+        span = tel.find("x")
+        assert span.wall_seconds >= 0.0
+        assert span.wall_start >= 0.0
+
+    def test_span_reraises_and_closes(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError):
+            with tel.span("x"):
+                raise ValueError("boom")
+        assert tel.current() is tel.root
+        assert tel.find("x").wall_seconds >= 0.0
+
+    def test_disabled_telemetry_records_nothing(self):
+        tel = Telemetry(enabled=False)
+        with tel.span("x") as span:
+            assert span is None
+        tel.attach_records([SpanRecord(name="dpu0", wall_seconds=1.0)])
+        assert tel.root.children == []
+
+    def test_attach_records_in_order(self):
+        tel = Telemetry()
+        with tel.span("launch"):
+            tel.attach_records(
+                [
+                    SpanRecord(name=f"dpu{i}", wall_seconds=0.1, sim_seconds=0.2)
+                    for i in range(3)
+                ]
+            )
+        launch = tel.find("launch")
+        assert [c.name for c in launch.children] == ["dpu0", "dpu1", "dpu2"]
+        assert launch.children[0].path == "launch/dpu0"
+        assert launch.children[0].sim_seconds == pytest.approx(0.2)
+
+    def test_self_time_clamped_for_parallel_children(self):
+        """Concurrent children (per-DPU spans) may out-sum the parent."""
+        tel = Telemetry()
+        clock = SimClock()
+        with tel.span("launch", clock=clock):
+            clock.advance("p", 1.0)
+            tel.attach_records(
+                [SpanRecord(name=f"dpu{i}", wall_seconds=0.0, sim_seconds=0.9)
+                 for i in range(3)]
+            )
+        launch = tel.find("launch")
+        assert launch.sim_seconds == pytest.approx(1.0)
+        assert launch.sim_self_seconds == 0.0
+
+
+class TestQueries:
+    def _populated(self) -> Telemetry:
+        tel = Telemetry()
+        clock = SimClock()
+        for phase, seconds in (("setup", 0.1), ("triangle_count", 0.2)):
+            with tel.span(phase, clock=clock):
+                clock.advance(phase, seconds)
+        return tel
+
+    def test_phase_totals(self):
+        totals = self._populated().phase_totals()
+        assert totals == {
+            "setup": pytest.approx(0.1),
+            "triangle_count": pytest.approx(0.2),
+        }
+
+    def test_phase_totals_sum_repeated_runs(self):
+        tel = Telemetry()
+        clock = SimClock()
+        for _ in range(2):
+            with tel.span("setup", clock=clock):
+                clock.advance("setup", 0.1)
+        assert tel.phase_totals()["setup"] == pytest.approx(0.2)
+
+    def test_span_signature_excludes_wall(self):
+        tel = self._populated()
+        sig = tel.span_signature()
+        assert ("setup", pytest.approx(0.1)) in sig
+        assert all(len(entry) == 2 for entry in sig)
+
+    def test_find_missing_returns_none(self):
+        assert self._populated().find("nope") is None
+
+    def test_to_dict_roundtrips_shape(self):
+        data = self._populated().to_dict()
+        assert data["enabled"] is True
+        assert [s["path"] for s in data["spans"]] == ["setup", "triangle_count"]
+        assert data["spans"][0]["children"] == []
+
+    def test_walk_depth_first(self):
+        root = Span(name="a", path="a")
+        root.children.append(Span(name="b", path="a/b"))
+        root.children[0].children.append(Span(name="c", path="a/b/c"))
+        root.children.append(Span(name="d", path="a/d"))
+        assert [s.path for s in root.walk()] == ["a", "a/b", "a/b/c", "a/d"]
