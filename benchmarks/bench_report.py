@@ -12,10 +12,17 @@ should move ``wall_seconds`` / span wall times while leaving every simulated
 number and metric snapshot bit-identical (unless it intentionally changes
 the cost model, in which case the diff documents exactly what moved).
 
+A second, optional artifact compares batched streaming ingestion against the
+monolithic pass: ``--ingest-out BENCH_ingest.json`` re-runs every graph with
+``batch_edges`` chunking and records the count-parity, the peak routed-buffer
+bytes (bounded at two chunk windows), and the simulated seconds the
+double-buffered overlap hides.
+
 Usage::
 
     python benchmarks/bench_report.py                       # small tier
     python benchmarks/bench_report.py --tier tiny --out BENCH_telemetry.json
+    python benchmarks/bench_report.py --tier tiny --ingest-out BENCH_ingest.json
 
 Not a pytest-benchmark module on purpose: the output is a committed-schema
 JSON artifact, not a timing assertion (CI uploads it as a workflow artifact).
@@ -29,6 +36,7 @@ import sys
 import time
 
 BENCH_SCHEMA = "repro-bench-telemetry/1"
+INGEST_SCHEMA = "repro-bench-ingest/1"
 
 
 def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
@@ -73,6 +81,61 @@ def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
     }
 
 
+def run_ingest_sweep(
+    tier: str, seed: int, num_colors: int | None = None, batch_edges: int | None = None
+) -> dict:
+    """Batched-vs-monolithic ingest comparison -> ``BENCH_ingest.json``.
+
+    One record per graph: both runs' counts (must agree), sample-creation and
+    total simulated seconds, peak routed-buffer bytes, chunk count, and the
+    overlap savings counter.  The batch size defaults to a quarter of the
+    graph's edges (at least 1) so every tier exercises multi-chunk runs.
+    """
+    from repro.core.api import PimTriangleCounter
+    from repro.experiments.common import DEFAULT_COLORS, paper_graph_order_by_max_degree
+    from repro.graph.datasets import get_dataset
+    from repro.telemetry import Telemetry
+
+    colors = num_colors or DEFAULT_COLORS[tier]
+    runs = []
+    for name in paper_graph_order_by_max_degree(tier):
+        graph = get_dataset(name, tier)
+        batch = batch_edges or max(1, graph.num_edges // 4)
+        mono = PimTriangleCounter(num_colors=colors, seed=seed).count(graph)
+        telemetry = Telemetry()
+        batched = PimTriangleCounter(
+            num_colors=colors, seed=seed, batch_edges=batch, telemetry=telemetry
+        ).count(graph)
+        snap = telemetry.metrics.snapshot()
+        runs.append(
+            {
+                "graph": name,
+                "num_edges": int(graph.num_edges),
+                "batch_edges": int(batch),
+                "count_monolithic": mono.count,
+                "count_batched": batched.count,
+                "counts_match": batched.count == mono.count,
+                "ingest_batches": int(batched.meta["ingest_batches"]),
+                "peak_routed_bytes_monolithic": int(mono.meta["peak_routed_bytes"]),
+                "peak_routed_bytes_batched": int(batched.meta["peak_routed_bytes"]),
+                "sample_seconds_monolithic": float(mono.sample_creation_seconds),
+                "sample_seconds_batched": float(batched.sample_creation_seconds),
+                "total_seconds_monolithic": float(mono.total_seconds),
+                "total_seconds_batched": float(batched.total_seconds),
+                "overlap_saved_seconds": float(
+                    snap["host.ingest.overlap_saved_seconds"]["value"]
+                ),
+            }
+        )
+    return {
+        "schema": INGEST_SCHEMA,
+        "tier": tier,
+        "seed": seed,
+        "colors": colors,
+        "runs": runs,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="fig3-style telemetry sweep -> BENCH_telemetry.json"
@@ -82,6 +145,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--colors", type=int, default=None,
                         help="C for every run (default: the tier's default)")
     parser.add_argument("--out", default="BENCH_telemetry.json")
+    parser.add_argument("--ingest-out", default=None, metavar="PATH",
+                        help="also write the batched-vs-monolithic ingest "
+                             "comparison artifact (BENCH_ingest.json)")
+    parser.add_argument("--batch-edges", type=int, default=None, metavar="B",
+                        help="chunk size for --ingest-out runs "
+                             "(default: |E| / 4 per graph)")
     args = parser.parse_args(argv)
 
     document = run_sweep(args.tier, args.seed, args.colors)
@@ -93,6 +162,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{args.out}: {len(document['runs'])} runs (tier={args.tier}, "
         f"C={document['colors']}), {total_wall:.2f}s wall total"
     )
+    if args.ingest_out:
+        ingest = run_ingest_sweep(args.tier, args.seed, args.colors, args.batch_edges)
+        with open(args.ingest_out, "w") as fh:
+            json.dump(ingest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        mismatches = [r["graph"] for r in ingest["runs"] if not r["counts_match"]]
+        print(
+            f"{args.ingest_out}: {len(ingest['runs'])} batched-vs-monolithic "
+            f"comparisons, {len(mismatches)} count mismatches"
+        )
+        if mismatches:
+            print(f"MISMATCHED GRAPHS: {', '.join(mismatches)}", file=sys.stderr)
+            return 1
     return 0
 
 

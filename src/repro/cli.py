@@ -86,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="per-core reservoir capacity in edges (Sec. 3.3)")
     parser.add_argument("--misra-gries", type=_parse_mg, default=(0, 0), metavar="K:t",
                         help="heavy-hitter summary size and remap count (Sec. 3.5)")
+    parser.add_argument("--batch-edges", type=int, default=None, metavar="B",
+                        help="streaming-ingest chunk size in input edges: the "
+                             "host samples/routes/transfers the stream in "
+                             "B-edge chunks (bounded memory, double-buffered "
+                             "overlap with DPU inserts); default: monolithic "
+                             "single pass (or $REPRO_BATCH_EDGES)")
     parser.add_argument("--local", action="store_true",
                         help="also compute per-node (local) triangle counts")
     parser.add_argument("--top", type=int, default=5,
@@ -159,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
             misra_gries_k=mg_k,
             misra_gries_t=mg_t,
             seed=args.seed + trial,
+            batch_edges=args.batch_edges,
             executor=args.executor,
             jobs=args.jobs,
             telemetry=telemetry,

@@ -53,12 +53,19 @@ class PimTriangleCounter:
         misra_gries_k: int = 0,
         misra_gries_t: int = 0,
         seed: int = 0,
+        batch_edges: int | None = None,
         executor: str | None = None,
         jobs: int | None = None,
         system_config: PimSystemConfig | None = None,
         options: PimTcOptions | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
+        # Streaming-ingest chunk size: like the executor knobs below, the
+        # REPRO_BATCH_EDGES env var lets the experiment harness flip every
+        # counter it builds without threading the flag through call sites.
+        if batch_edges is None:
+            env_batch = os.environ.get("REPRO_BATCH_EDGES")
+            batch_edges = int(env_batch) if env_batch else None
         if options is None:
             options = PimTcOptions(
                 num_colors=num_colors,
@@ -67,6 +74,7 @@ class PimTriangleCounter:
                 misra_gries_k=misra_gries_k,
                 misra_gries_t=misra_gries_t,
                 seed=seed,
+                batch_edges=batch_edges,
             )
         self.options = options
         config = system_config or PimSystemConfig()

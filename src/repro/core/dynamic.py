@@ -33,6 +33,7 @@ from ..pimsim.kernel import SimClock
 from ..pimsim.system import PimSystem
 from ..streaming.estimators import combine_dpu_counts
 from ..streaming.misra_gries import MisraGries
+from .ingest import DoubleBufferSchedule, iter_edge_batches
 from .kernel_tc_fast import KernelCosts, _count_forward_sparse
 from .orient import orient_and_sort
 from .region_index import build_region_index
@@ -90,11 +91,17 @@ class DynamicPimCounter:
         kernel_costs: KernelCosts | None = None,
         misra_gries_k: int = 0,
         misra_gries_t: int = 0,
+        batch_edges: int | None = None,
     ) -> None:
         if num_colors < 1:
             raise ConfigurationError("num_colors must be >= 1")
         if (misra_gries_k > 0) != (misra_gries_t > 0):
             raise ConfigurationError("misra_gries_k and misra_gries_t go together")
+        if batch_edges is not None and batch_edges < 1:
+            raise ConfigurationError("batch_edges must be >= 1 or None")
+        #: Streaming-ingest chunk size for update batches; ``None`` routes and
+        #: merges each update batch in one pass (original behavior).
+        self.batch_edges = batch_edges
         self.num_nodes = int(num_nodes)
         self.num_colors = int(num_colors)
         self.costs = kernel_costs or KernelCosts()
@@ -135,97 +142,97 @@ class DynamicPimCounter:
         return self.clock.get("setup")
 
     # -------------------------------------------------------------------- update
-    def apply_update(self, batch: COOGraph) -> DynamicUpdateResult:
-        """Merge one batch of new edges and recount incrementally."""
+    def _merge_and_charge(
+        self, d: int, new_src: np.ndarray, new_dst: np.ndarray, remap: RemapTable | None
+    ) -> tuple[np.ndarray, np.ndarray, int, float]:
+        """Merge one routed chunk into core ``d``'s resident sample.
+
+        Charges the incremental kernel work (batch sort, one merge pass over
+        the resident sample, per-new-edge search + intersection) and returns
+        the oriented/sorted effective edge arrays, the effective node count,
+        and the core's compute seconds for this chunk.  The functional recount
+        is left to the caller — the batched path defers it to one pass after
+        the last chunk.
+        """
+        dpu = self.dpus.dpus[d]
+        dpu.reset_charges()
+        old_m = self._src[d].size
+        merged_src = np.concatenate([self._src[d], new_src])
+        merged_dst = np.concatenate([self._dst[d], new_dst])
+        self._src[d], self._dst[d] = merged_src, merged_dst
+        b = int(new_src.size)
+        if remap is not None:
+            eff_src, eff_dst = apply_remap(remap, merged_src, merged_dst)
+            eff_ns, eff_nd = apply_remap(remap, new_src, new_dst)
+            eff_nodes = remap.remapped_num_nodes
+        else:
+            eff_src, eff_dst = merged_src, merged_dst
+            eff_ns, eff_nd = new_src, new_dst
+            eff_nodes = self.num_nodes
+        u, v, _ = orient_and_sort(eff_src, eff_dst)
+        if b:
+            # Incremental kernel: sort the batch, one merge pass over the
+            # resident sample, then per-new-edge search + intersection.
+            sort_steps = b * max(1, int(np.ceil(np.log2(max(b, 2)))))
+            merge_pass = old_m + b
+            index = build_region_index(u)
+            nu = np.minimum(eff_ns, eff_nd)
+            nv = np.maximum(eff_ns, eff_nd)
+            d_v = index.degrees_of(nv)
+            _, ends_u = index.lookup_many(nu)
+            # Forward neighbors of u strictly greater than v: edges are
+            # (u, v)-sorted, so one key search finds the edge's own slot.
+            keys = u * np.int64(eff_nodes + 1) + v
+            pos = np.searchsorted(keys, nu * np.int64(eff_nodes + 1) + nv, side="right")
+            suffix = np.maximum(ends_u - pos, 0)
+            merge_steps = np.where(d_v > 0, suffix + d_v, 0).sum()
+            remap_instr = (
+                self.costs.remap_instr_per_edge * merge_pass if remap is not None else 0.0
+            )
+            instr = (
+                remap_instr
+                + self.costs.sort_instr_per_step * sort_steps
+                + self.costs.insert_instr_per_edge * merge_pass
+                + self.costs.edge_loop_instr * b
+                + self.costs.binsearch_instr_per_step * index.search_steps() * b
+                + self.costs.merge_instr_per_step * float(merge_steps)
+            )
+            dpu.charge_balanced(instr)
+            # Merge (and remap) passes stream the sample through MRAM
+            # (read + write) plus the counting phase's region reads.
+            passes = 2 + (2 if remap is not None else 0)
+            nbytes = (passes * merge_pass + int(merge_steps)) * self.costs.edge_bytes
+            per = nbytes // dpu.config.num_tasklets
+            for tk in range(dpu.config.num_tasklets):
+                dpu.charge_mram_read(tk, int(per), requests=max(1, b // 8))
+        return u, v, eff_nodes, dpu.compute_seconds()
+
+    def _update_mg(self, batch: COOGraph) -> RemapTable | None:
+        """Feed one update batch to the Misra-Gries summary; refresh the remap."""
+        if self._mg is None:
+            return None
+        stream = np.empty(2 * batch.num_edges, dtype=np.int64)
+        stream[0::2] = batch.src
+        stream[1::2] = batch.dst
+        self._mg.update_array(stream)
+        top = self._mg.top(self._mg_t)
+        if not top:
+            return None
+        remap = RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=self.num_nodes)
+        # Broadcast the refreshed table to every core.
+        self.clock.advance(
+            "dynamic", self.dpus.transfer.broadcast(remap.nbytes(), len(self.dpus)).seconds
+        )
+        return remap
+
+    def _finish_round(
+        self, batch: COOGraph, before_total: float, op: str = "insert"
+    ) -> DynamicUpdateResult:
+        """Gather counts, apply corrections, and close one update round."""
         cost = self.system.config.cost
-        before_total = self.cumulative_seconds
-        # Host: stream, hash-color and route only the new edges.
-        self.clock.advance(
-            "dynamic",
-            cost.host_edge_cycles
-            * batch.num_edges
-            / (cost.host_clock_hz * cost.host_threads),
-        )
-        partition = self.partitioner.assign(batch)
-        routed_bytes = partition.counts * self.costs.edge_bytes
-        self.clock.advance("dynamic", self.dpus.transfer.scatter(routed_bytes).seconds)
-
-        remap = None
-        if self._mg is not None:
-            stream = np.empty(2 * batch.num_edges, dtype=np.int64)
-            stream[0::2] = batch.src
-            stream[1::2] = batch.dst
-            self._mg.update_array(stream)
-            top = self._mg.top(self._mg_t)
-            if top:
-                remap = RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=self.num_nodes)
-                # Broadcast the refreshed table to every core.
-                self.clock.advance(
-                    "dynamic", self.dpus.transfer.broadcast(remap.nbytes(), len(self.dpus)).seconds
-                )
-
-        times = []
-        for d, (new_src, new_dst) in enumerate(partition.per_dpu):
-            dpu = self.dpus.dpus[d]
-            dpu.reset_charges()
-            old_m = self._src[d].size
-            merged_src = np.concatenate([self._src[d], new_src])
-            merged_dst = np.concatenate([self._dst[d], new_dst])
-            self._src[d], self._dst[d] = merged_src, merged_dst
-            b = int(new_src.size)
-            if remap is not None:
-                eff_src, eff_dst = apply_remap(remap, merged_src, merged_dst)
-                eff_ns, eff_nd = apply_remap(remap, new_src, new_dst)
-                eff_nodes = remap.remapped_num_nodes
-            else:
-                eff_src, eff_dst = merged_src, merged_dst
-                eff_ns, eff_nd = new_src, new_dst
-                eff_nodes = self.num_nodes
-            u, v, _ = orient_and_sort(eff_src, eff_dst)
-            if b:
-                # Incremental kernel: sort the batch, one merge pass over the
-                # resident sample, then per-new-edge search + intersection.
-                sort_steps = b * max(1, int(np.ceil(np.log2(max(b, 2)))))
-                merge_pass = old_m + b
-                index = build_region_index(u)
-                nu = np.minimum(eff_ns, eff_nd)
-                nv = np.maximum(eff_ns, eff_nd)
-                d_v = index.degrees_of(nv)
-                _, ends_u = index.lookup_many(nu)
-                # Forward neighbors of u strictly greater than v: edges are
-                # (u, v)-sorted, so one key search finds the edge's own slot.
-                keys = u * np.int64(eff_nodes + 1) + v
-                pos = np.searchsorted(keys, nu * np.int64(eff_nodes + 1) + nv, side="right")
-                suffix = np.maximum(ends_u - pos, 0)
-                merge_steps = np.where(d_v > 0, suffix + d_v, 0).sum()
-                remap_instr = (
-                    self.costs.remap_instr_per_edge * merge_pass if remap is not None else 0.0
-                )
-                instr = (
-                    remap_instr
-                    + self.costs.sort_instr_per_step * sort_steps
-                    + self.costs.insert_instr_per_edge * merge_pass
-                    + self.costs.edge_loop_instr * b
-                    + self.costs.binsearch_instr_per_step * index.search_steps() * b
-                    + self.costs.merge_instr_per_step * float(merge_steps)
-                )
-                dpu.charge_balanced(instr)
-                # Merge (and remap) passes stream the sample through MRAM
-                # (read + write) plus the counting phase's region reads.
-                passes = 2 + (2 if remap is not None else 0)
-                nbytes = (passes * merge_pass + int(merge_steps)) * self.costs.edge_bytes
-                per = nbytes // dpu.config.num_tasklets
-                for tk in range(dpu.config.num_tasklets):
-                    dpu.charge_mram_read(tk, int(per), requests=max(1, b // 8))
-            self._raw_counts[d] = _count_forward_sparse(u, v, eff_nodes)
-            times.append(dpu.compute_seconds())
-        self.clock.advance(
-            "dynamic", cost.launch_latency + (max(times) if times else 0.0)
-        )
         # Gather the per-core counts (8 bytes each).
         sizes = np.full(len(self.dpus), 8, dtype=np.int64)
         self.clock.advance("dynamic", self.dpus.transfer.gather(sizes).seconds)
-
         ones = np.ones(self.partitioner.num_dpus, dtype=np.float64)
         new_estimate = int(
             round(
@@ -250,8 +257,81 @@ class DynamicPimCounter:
             triangles_added=added,
             round_seconds=round_seconds,
             cumulative_seconds=self.cumulative_seconds,
-            op="insert",
+            op=op,
         )
+
+    def _apply_update_batched(self, batch: COOGraph) -> DynamicUpdateResult:
+        """Chunked variant of :meth:`apply_update` with overlap accounting.
+
+        Routes and merges the update batch in ``batch_edges``-sized chunks —
+        per-core merged samples end up byte-identical to the monolithic pass
+        (routing is stable within every chunk and chunks arrive in stream
+        order), so the final count matches exactly — while the simulated
+        clock models host routing of chunk ``k+1`` overlapped with the cores
+        merging chunk ``k``.  The functional recount runs once over the fully
+        merged samples instead of once per chunk.
+        """
+        cost = self.system.config.cost
+        before_total = self.cumulative_seconds
+        remap = self._update_mg(batch)
+        schedule = DoubleBufferSchedule()
+        final: list[tuple[np.ndarray, np.ndarray, int] | None] = [
+            None
+        ] * self.partitioner.num_dpus
+        for _k, s_chunk, d_chunk in iter_edge_batches(
+            batch.src, batch.dst, self.batch_edges
+        ):
+            h_k = (
+                cost.host_edge_cycles
+                * int(s_chunk.size)
+                / (cost.host_clock_hz * cost.host_threads)
+            )
+            part = self.partitioner.assign_arrays(s_chunk, d_chunk)
+            xfer = self.dpus.transfer.scatter(
+                part.counts * self.costs.edge_bytes
+            ).seconds
+            times = []
+            for d, (new_src, new_dst) in enumerate(part.per_dpu):
+                u, v, eff_nodes, seconds = self._merge_and_charge(
+                    d, new_src, new_dst, remap
+                )
+                final[d] = (u, v, eff_nodes)
+                times.append(seconds)
+            d_k = xfer + cost.launch_latency + (max(times) if times else 0.0)
+            self.clock.advance("dynamic", schedule.step(h_k, d_k))
+        for d, state in enumerate(final):
+            if state is not None:
+                u, v, eff_nodes = state
+                self._raw_counts[d] = _count_forward_sparse(u, v, eff_nodes)
+        return self._finish_round(batch, before_total, op="insert")
+
+    def apply_update(self, batch: COOGraph) -> DynamicUpdateResult:
+        """Merge one batch of new edges and recount incrementally."""
+        if self.batch_edges is not None:
+            return self._apply_update_batched(batch)
+        cost = self.system.config.cost
+        before_total = self.cumulative_seconds
+        # Host: stream, hash-color and route only the new edges.
+        self.clock.advance(
+            "dynamic",
+            cost.host_edge_cycles
+            * batch.num_edges
+            / (cost.host_clock_hz * cost.host_threads),
+        )
+        partition = self.partitioner.assign(batch)
+        routed_bytes = partition.counts * self.costs.edge_bytes
+        self.clock.advance("dynamic", self.dpus.transfer.scatter(routed_bytes).seconds)
+
+        remap = self._update_mg(batch)
+        times = []
+        for d, (new_src, new_dst) in enumerate(partition.per_dpu):
+            u, v, eff_nodes, seconds = self._merge_and_charge(d, new_src, new_dst, remap)
+            self._raw_counts[d] = _count_forward_sparse(u, v, eff_nodes)
+            times.append(seconds)
+        self.clock.advance(
+            "dynamic", cost.launch_latency + (max(times) if times else 0.0)
+        )
+        return self._finish_round(batch, before_total, op="insert")
 
     # ------------------------------------------------------------------ delete
     def apply_deletion(self, batch: COOGraph) -> DynamicUpdateResult:

@@ -37,9 +37,10 @@ from ..pimsim.system import DpuSet, PimSystem
 from ..streaming.estimators import combine_dpu_counts
 from ..streaming.misra_gries import MisraGries
 from ..streaming.reservoir import EdgeReservoir, reservoir_scale
-from ..streaming.uniform import UniformSample, uniform_sample
+from ..streaming.uniform import uniform_keep_mask, uniform_sample
 from ..telemetry.metrics import DEFAULT_FRACTION_BUCKETS
 from ..telemetry.spans import SpanRecord, Telemetry
+from .ingest import DoubleBufferSchedule, iter_edge_batches
 from .kernel_tc_fast import KernelCosts, TriangleCountKernel
 from .remap import RemapTable
 from .result import KernelAggregate, TcResult
@@ -81,6 +82,34 @@ def _insert_sample(dpu: Dpu, payload: tuple) -> tuple[int, float]:
     return n_in, dpu.compute_seconds()
 
 
+def _ingest_chunk(dpu: Dpu, payload: tuple) -> tuple[EdgeReservoir, int, float]:
+    """Per-DPU batched-ingest task: offer one routed chunk to the core's reservoir.
+
+    The streaming analogue of :func:`_insert_sample`: the reservoir persists
+    across chunks (its ``seen`` counter keeps the global arrival index, so
+    chunked offers reproduce the sequential acceptance distribution) and
+    travels through the payload/result so the process engine's pickled copy —
+    including its advanced RNG state — makes it back to the parent.  Final
+    reservoir contents are materialized into MRAM by the host after the last
+    chunk; this task only mutates the reservoir and charges the insert work.
+    """
+    reservoir, s_arr, d_arr, costs = payload
+    dpu.reset_charges()
+    n_in = int(s_arr.size)
+    if n_in == 0:
+        return reservoir, 0, 0.0
+    overflow = reservoir.seen + n_in > reservoir.capacity
+    stored = reservoir.offer_batch(s_arr, d_arr)
+    # Replacement bookkeeping costs a few extra instructions/edge (same
+    # constant as the monolithic path).
+    extra = 4.0 if overflow else 0.0
+    dpu.charge_balanced(n_in * (costs.insert_instr_per_edge + extra))
+    per_tasklet_bytes = stored * costs.edge_bytes / dpu.config.num_tasklets
+    for tk in range(dpu.config.num_tasklets):
+        dpu.charge_mram_write(tk, int(per_tasklet_bytes), requests=1)
+    return reservoir, n_in, dpu.compute_seconds()
+
+
 @dataclass
 class _PreparedRun:
     """State handed from the shared sample-creation phase to a count phase."""
@@ -88,12 +117,16 @@ class _PreparedRun:
     clock: SimClock
     dpus: DpuSet
     partitioner: ColoringPartitioner
-    partition: EdgePartition
-    sample: UniformSample
+    routed_counts: np.ndarray
+    uniform_p: float
     seen: np.ndarray
     capacity: int
     wall_start: float
     edges_kept: int
+    #: Number of ingest chunks (1 for the monolithic path).
+    ingest_batches: int = 1
+    #: Peak bytes of routed edge buffers resident on the host at once.
+    peak_routed_bytes: int = 0
 
     def reservoir_scales(self) -> np.ndarray:
         return np.array(
@@ -132,6 +165,13 @@ class PimTcOptions:
     #: each core's batch array to the PIM side as it fills while streaming the
     #: input file; ``None`` models one bulk scatter (batch = whole sample).
     transfer_batch_edges: int | None = None
+    #: Streaming-ingest chunk size in *input* edges.  ``None`` keeps the
+    #: monolithic single-pass pipeline.  When set, the host processes the
+    #: edge stream in chunks of this size — sample, Misra-Gries update,
+    #: route, transfer, reservoir insert — bounding routed-buffer memory at
+    #: ``O(batch_edges * C)`` and overlapping host routing of chunk ``k+1``
+    #: with DPU insertion of chunk ``k`` (double buffering).
+    batch_edges: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_colors < 1:
@@ -142,6 +182,8 @@ class PimTcOptions:
             )
         if self.transfer_batch_edges is not None and self.transfer_batch_edges < 1:
             raise ConfigurationError("transfer_batch_edges must be >= 1 or None")
+        if self.batch_edges is not None and self.batch_edges < 1:
+            raise ConfigurationError("batch_edges must be >= 1 or None")
         if not (0.0 < self.uniform_p <= 1.0):
             raise ConfigurationError("uniform_p must be in (0, 1]")
         if self.misra_gries_t > 0 and self.misra_gries_k <= 0:
@@ -206,19 +248,17 @@ class PimTcPipeline:
         prep = self._prepare(graph, kernel)
         return self._finish_global(graph, prep)
 
-    def _prepare(self, graph: COOGraph, kernel) -> "_PreparedRun":
-        """Setup + sample-creation phases, shared by global and local counting."""
+    def _setup_phase(
+        self, graph: COOGraph, kernel, clock: SimClock, rngs: RngFactory
+    ) -> tuple[ColoringPartitioner, DpuSet]:
+        """Setup phase shared by the monolithic and batched ingest paths."""
         opts = self.options
         cost = self.system.config.cost
-        rngs = RngFactory(opts.seed)
-        wall_start = time.perf_counter()
-        clock = SimClock()
-        tel = self.telemetry
-
-        # ---------------------------------------------------------------- setup
-        with tel.span("setup", clock=clock):
+        with self.telemetry.span("setup", clock=clock):
             partitioner = ColoringPartitioner(opts.num_colors, rngs.stream("coloring"))
-            dpus = self.system.allocate(partitioner.num_dpus, clock, telemetry=tel)
+            dpus = self.system.allocate(
+                partitioner.num_dpus, clock, telemetry=self.telemetry
+            )
             dpus.load_kernel(kernel, phase="setup")
             # Host: load the graph file into memory + allocate per-core batch arrays.
             clock.advance(
@@ -226,6 +266,19 @@ class PimTcPipeline:
                 graph.nbytes() / cost.host_memcpy_bandwidth
                 + self._host_seconds(200.0, partitioner.num_dpus),
             )
+        return partitioner, dpus
+
+    def _prepare(self, graph: COOGraph, kernel) -> "_PreparedRun":
+        """Setup + sample-creation phases, shared by global and local counting."""
+        if self.options.batch_edges is not None:
+            return self._prepare_batched(graph, kernel)
+        opts = self.options
+        cost = self.system.config.cost
+        rngs = RngFactory(opts.seed)
+        wall_start = time.perf_counter()
+        clock = SimClock()
+        tel = self.telemetry
+        partitioner, dpus = self._setup_phase(graph, kernel, clock, rngs)
 
         # ------------------------------------------------------- sample creation
         with tel.span("sample_creation", clock=clock):
@@ -339,17 +392,218 @@ class PimTcPipeline:
                     "sample_creation", "launch", insert_seconds,
                     detail="sample insert / reservoir",
                 )
-        self._record_sample_metrics(graph, kept, partition, seen, capacity)
+        self._record_sample_metrics(
+            graph.num_edges, kept.num_edges, partition.counts, seen, capacity
+        )
+        edge_bytes = opts.kernel_costs.edge_bytes
         return _PreparedRun(
             clock=clock,
             dpus=dpus,
             partitioner=partitioner,
-            partition=partition,
-            sample=sample,
+            routed_counts=partition.counts,
+            uniform_p=sample.p,
             seen=seen,
             capacity=capacity,
             wall_start=wall_start,
             edges_kept=kept.num_edges,
+            ingest_batches=1,
+            # Monolithic routing materializes every per-core buffer at once.
+            peak_routed_bytes=int(partition.counts.sum()) * edge_bytes,
+        )
+
+    def _scatter_seconds(
+        self, dpus: DpuSet, counts: np.ndarray, edge_bytes: int
+    ) -> tuple[float, int, int]:
+        """Aggregate scatter cost of one routed chunk: (seconds, bytes, rounds).
+
+        Mirrors the monolithic scatter loop — honoring ``transfer_batch_edges``
+        flush rounds — but returns the cost instead of advancing the clock, so
+        the batched path can fold it into the overlapped device time.
+        """
+        opts = self.options
+        if opts.transfer_batch_edges is None:
+            stats = dpus.transfer.scatter(counts * edge_bytes)
+            return stats.seconds, stats.payload_bytes, 1
+        batch = int(opts.transfer_batch_edges)
+        remaining = counts.astype(np.int64).copy()
+        seconds = 0.0
+        payload = 0
+        rounds = 0
+        while remaining.max(initial=0) > 0:
+            this_round = np.minimum(remaining, batch)
+            stats = dpus.transfer.scatter(this_round * edge_bytes)
+            seconds += stats.seconds
+            payload += stats.payload_bytes
+            remaining -= this_round
+            rounds += 1
+        return seconds, payload, rounds
+
+    def _prepare_batched(self, graph: COOGraph, kernel) -> "_PreparedRun":
+        """Chunked streaming ingest with double-buffered host/device overlap.
+
+        Processes the input edge stream in ``batch_edges``-sized chunks.  For
+        each chunk the host draws the uniform keep-mask (consecutive draws
+        from one stream — bit-identical to the monolithic mask), updates the
+        Misra-Gries summary, colors and routes the survivors, and hands the
+        per-core arrays to the execution engine while it starts routing the
+        *next* chunk; :class:`DoubleBufferSchedule` turns the per-chunk host
+        and device seconds into overlapped clock advances.  Per-core
+        reservoirs persist across chunks, so acceptance probabilities use
+        global arrival indices (sequential distribution, property-tested);
+        when no reservoir overflows the final MRAM contents are bit-identical
+        to the monolithic path.
+
+        Engine invariance: every quantity fed to the schedule — keep-masks,
+        partition counts, reservoir offers via per-DPU derived RNG streams,
+        charge totals — is deterministic, so serial/thread/process executors
+        stay bit-identical on counts, clocks, and charges.  (Per-DPU detail
+        spans are not emitted per chunk; the per-batch spans carry the
+        timing attributes instead.)
+        """
+        opts = self.options
+        cost = self.system.config.cost
+        rngs = RngFactory(opts.seed)
+        wall_start = time.perf_counter()
+        clock = SimClock()
+        tel = self.telemetry
+        partitioner, dpus = self._setup_phase(graph, kernel, clock, rngs)
+
+        num_dpus = partitioner.num_dpus
+        capacity = self._reservoir_capacity()
+        edge_bytes = opts.kernel_costs.edge_bytes
+        uniform_rng = rngs.stream("uniform")
+        reservoirs = [
+            EdgeReservoir(capacity, rngs.stream("reservoir", index=d))
+            for d in range(num_dpus)
+        ]
+        merged_mg = MisraGries(opts.misra_gries_k) if opts.misra_gries_k > 0 else None
+        schedule = DoubleBufferSchedule()
+        routed_counts = np.zeros(num_dpus, dtype=np.int64)
+        edges_kept = 0
+        peak_routed_bytes = 0
+        window_bytes = 0  # routed bytes of the still-inserting previous chunk
+        pending: tuple | None = None  # (k, h_k, xfer_seconds, xfer_bytes, join)
+
+        def drain(entry: tuple) -> None:
+            """Join one in-flight chunk and advance the overlapped clock."""
+            k, h_k, xfer_seconds, xfer_bytes, join = entry
+            results = join()
+            for d, (res, _n_in, _secs) in enumerate(results):
+                reservoirs[d] = res
+            compute = max((secs for _, _, secs in results), default=0.0)
+            d_k = xfer_seconds + cost.launch_latency + compute
+            delta = schedule.step(h_k, d_k)
+            with tel.span(f"batch[{k}]", clock=clock) as span:
+                clock.advance("sample_creation", delta)
+                if span is not None:
+                    span.attrs["host_seconds"] = h_k
+                    span.attrs["device_seconds"] = d_k
+                    span.attrs["routed_bytes"] = xfer_bytes
+            dpus.trace.record(
+                "sample_creation", "scatter", xfer_seconds, xfer_bytes,
+                f"ingest batch {k}",
+            )
+            dpus.trace.record(
+                "sample_creation",
+                "launch",
+                cost.launch_latency + compute,
+                detail=f"reservoir insert batch {k}",
+            )
+
+        with tel.span("sample_creation", clock=clock):
+            for k, s_chunk, d_chunk in iter_edge_batches(
+                graph.src, graph.dst, opts.batch_edges
+            ):
+                # Host side of chunk k: stream + sample + summarize + route.
+                h_k = self._host_seconds(cost.host_edge_cycles, int(s_chunk.size))
+                keep = uniform_keep_mask(int(s_chunk.size), opts.uniform_p, uniform_rng)
+                if opts.uniform_p < 1.0:
+                    s_kept, d_kept = s_chunk[keep], d_chunk[keep]
+                else:
+                    s_kept, d_kept = s_chunk, d_chunk
+                edges_kept += int(s_kept.size)
+                if merged_mg is not None:
+                    self._mg_update(merged_mg, s_kept, d_kept)
+                    h_k += self._host_seconds(
+                        opts.mg_host_cycles_per_edge, int(s_kept.size)
+                    )
+                part = partitioner.assign_arrays(s_kept, d_kept)
+                routed_counts += part.counts
+                chunk_bytes = int(part.counts.sum()) * edge_bytes
+                h_k += chunk_bytes / cost.host_memcpy_bandwidth
+                xfer_seconds, xfer_bytes, _rounds = self._scatter_seconds(
+                    dpus, part.counts, edge_bytes
+                )
+                # Double buffering keeps at most two chunks' routed buffers
+                # resident: the one still inserting plus the one just routed.
+                peak_routed_bytes = max(peak_routed_bytes, window_bytes + chunk_bytes)
+                window_bytes = chunk_bytes
+                if pending is not None:
+                    drain(pending)
+                # Payloads are built only after the previous join so the
+                # process engine's returned reservoirs (fresh RNG state) are
+                # the ones offered the next chunk.
+                payloads = [
+                    (reservoirs[d], s_arr, d_arr, opts.kernel_costs)
+                    for d, (s_arr, d_arr) in enumerate(part.per_dpu)
+                ]
+                join = dpus.executor.map_dpus_async(_ingest_chunk, dpus.dpus, payloads)
+                pending = (k, h_k, xfer_seconds, xfer_bytes, join)
+            if pending is not None:
+                drain(pending)
+
+            remap_payload: RemapTable | None = None
+            if merged_mg is not None:
+                with tel.span("misra_gries", clock=clock):
+                    remap_payload = self._mg_table(merged_mg, graph.num_nodes)
+            if remap_payload is not None and remap_payload.t > 0:
+                with tel.span("broadcast_remap", clock=clock):
+                    stats = dpus.transfer.broadcast(remap_payload.nbytes(), len(dpus))
+                    clock.advance("sample_creation", stats.seconds)
+                    dpus.trace.record(
+                        "sample_creation", "broadcast", stats.seconds,
+                        stats.payload_bytes, "remap_table",
+                    )
+                for dpu in dpus.dpus:
+                    dpu.mram.store(
+                        "remap_table", remap_payload.nodes, count_write=False
+                    )
+            # Materialize the final reservoir contents into each core's MRAM
+            # region (the per-chunk tasks already charged the write work).
+            for dpu, res in zip(dpus.dpus, reservoirs):
+                keep_src, keep_dst = res.edges()
+                dpu.mram.store("sample_src", keep_src.astype(np.int32), count_write=False)
+                dpu.mram.store("sample_dst", keep_dst.astype(np.int32), count_write=False)
+            seen = np.array([res.seen for res in reservoirs], dtype=np.int64)
+
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("host.ingest.batches", help="streaming ingest chunks processed").inc(
+                schedule.batches
+            )
+            m.gauge(
+                "host.ingest.peak_routed_bytes",
+                help="peak bytes of routed edge buffers resident on the host",
+            ).set(peak_routed_bytes)
+            m.counter(
+                "host.ingest.overlap_saved_seconds",
+                help="simulated seconds hidden by double-buffered ingest",
+            ).inc(schedule.saved_seconds)
+        self._record_sample_metrics(
+            graph.num_edges, edges_kept, routed_counts, seen, capacity
+        )
+        return _PreparedRun(
+            clock=clock,
+            dpus=dpus,
+            partitioner=partitioner,
+            routed_counts=routed_counts,
+            uniform_p=opts.uniform_p,
+            seen=seen,
+            capacity=capacity,
+            wall_start=wall_start,
+            edges_kept=edges_kept,
+            ingest_batches=schedule.batches,
+            peak_routed_bytes=peak_routed_bytes,
         )
 
     def _finish_global(self, graph: COOGraph, prep: "_PreparedRun") -> TcResult:
@@ -368,7 +622,7 @@ class PimTcPipeline:
                     scales,
                     mono,
                     num_colors=opts.num_colors,
-                    uniform_p=prep.sample.p,
+                    uniform_p=prep.uniform_p,
                 )
                 # Host-side final reduction over per-core counts.
                 clock.advance(
@@ -385,15 +639,17 @@ class PimTcPipeline:
             clock=clock,
             per_dpu_counts=raw_counts,
             reservoir_scales=scales,
-            edges_routed=prep.partition.counts,
+            edges_routed=prep.routed_counts,
             edges_input=graph.num_edges,
-            uniform_p=prep.sample.p,
+            uniform_p=prep.uniform_p,
             kernel=kernel_aggregate,
             host_wall_seconds=time.perf_counter() - prep.wall_start,
             meta={
                 "reservoir_capacity": prep.capacity,
                 "edges_kept": prep.edges_kept,
                 "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
+                "ingest_batches": prep.ingest_batches,
+                "peak_routed_bytes": prep.peak_routed_bytes,
             },
             trace=dpus.trace,
             telemetry=self.telemetry,
@@ -413,9 +669,10 @@ class PimTcPipeline:
             dpus.launch(phase="triangle_count")
             # The local gather is heavy: one num_nodes-long vector per core.
             local_arrays = dpus.gather("local_counts", phase="triangle_count")
-            raw_arrays = [
-                dpu.mram.load("triangle_count", count_read=False) for dpu in dpus.dpus
-            ]
+            # The scalar totals come back through the same gather path as the
+            # global pipeline, so the local path pays the identical transfer
+            # cost and emits the identical trace events per symbol.
+            raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
             raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
             scales = prep.reservoir_scales()
             mono = partitioner.mono_mask()
@@ -425,7 +682,7 @@ class PimTcPipeline:
                 locals_matrix /= scales[:, None]
                 combined = locals_matrix.sum(axis=0)
                 combined -= (opts.num_colors - 1) * locals_matrix[mono].sum(axis=0)
-                combined /= prep.sample.p**3
+                combined /= prep.uniform_p**3
                 estimate = float(combined.sum() / 3.0)
                 # Host-side vector reduction over all cores.
                 clock.advance(
@@ -443,15 +700,17 @@ class PimTcPipeline:
             clock=clock,
             per_dpu_counts=raw_counts,
             reservoir_scales=scales,
-            edges_routed=prep.partition.counts,
+            edges_routed=prep.routed_counts,
             edges_input=graph.num_edges,
-            uniform_p=prep.sample.p,
+            uniform_p=prep.uniform_p,
             kernel=kernel_aggregate,
             host_wall_seconds=time.perf_counter() - prep.wall_start,
             meta={
                 "reservoir_capacity": prep.capacity,
                 "edges_kept": prep.edges_kept,
                 "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
+                "ingest_batches": prep.ingest_batches,
+                "peak_routed_bytes": prep.peak_routed_bytes,
             },
             trace=dpus.trace,
             telemetry=self.telemetry,
@@ -461,15 +720,15 @@ class PimTcPipeline:
     # ----------------------------------------------------------------- internals
     def _record_sample_metrics(
         self,
-        graph: COOGraph,
-        kept: COOGraph,
-        partition: EdgePartition,
+        edges_input: int,
+        edges_kept: int,
+        routed_counts: np.ndarray,
         seen: np.ndarray,
         capacity: int,
     ) -> None:
         """Metrics of the sample-creation phase (engine-invariant inputs only).
 
-        Everything observed here — partition counts, per-DPU seen totals, the
+        Everything observed here — routed counts, per-DPU seen totals, the
         reservoir capacity — is computed in the parent process and pinned by
         the executor parity tests, so the registry snapshot stays bit-
         identical across serial/thread/process engines.
@@ -479,17 +738,17 @@ class PimTcPipeline:
             return
         m = tel.metrics
         m.counter("host.edges_input", help="edges in the input graph").inc(
-            graph.num_edges
+            edges_input
         )
         m.counter("host.edges_kept", help="edges surviving uniform sampling").inc(
-            kept.num_edges
+            edges_kept
         )
         m.counter("pim.edges_routed_total", help="edge copies routed to PIM cores").inc(
-            int(partition.counts.sum())
+            int(routed_counts.sum())
         )
         m.histogram(
             "pim.edges_routed", help="edges routed per PIM core (load balance)"
-        ).observe_many(partition.counts.astype(np.float64))
+        ).observe_many(routed_counts.astype(np.float64))
         m.gauge("pim.reservoir.capacity", help="per-core reservoir capacity").set(
             capacity
         )
@@ -517,25 +776,27 @@ class PimTcPipeline:
         )
         m.counter("pipeline.runs", help="completed pipeline runs").inc()
 
-    def _run_misra_gries(self, kept: COOGraph, clock: SimClock) -> RemapTable:
-        """Per-thread Misra-Gries over the node stream, merged, top-t extracted."""
-        opts = self.options
-        cost = self.system.config.cost
-        threads = cost.host_threads
-        # Node stream: both endpoints of every kept edge, in stream order.
-        stream = np.empty(2 * kept.num_edges, dtype=np.int64)
-        stream[0::2] = kept.src
-        stream[1::2] = kept.dst
-        merged = MisraGries(opts.misra_gries_k)
-        for chunk in np.array_split(stream, threads):
-            local = MisraGries(opts.misra_gries_k)
+    def _mg_update(self, merged: MisraGries, src: np.ndarray, dst: np.ndarray) -> None:
+        """Fold one edge chunk's node stream into ``merged`` (per-thread splits).
+
+        The chunk's interleaved node stream is split across the model's host
+        threads, each summarized locally, and merged — the same merged-summary
+        scheme the monolithic pass uses over the whole stream.  Note that
+        Misra-Gries merged summaries are not split-invariant: chunked runs can
+        produce a different (still valid, still within the ``n/K`` error
+        guarantee) summary than one monolithic pass.
+        """
+        stream = np.empty(2 * int(src.size), dtype=np.int64)
+        stream[0::2] = src
+        stream[1::2] = dst
+        for chunk in np.array_split(stream, self.system.config.cost.host_threads):
+            local = MisraGries(self.options.misra_gries_k)
             local.update_array(chunk)
             merged.merge(local)
-        clock.advance(
-            "sample_creation",
-            self._host_seconds(opts.mg_host_cycles_per_edge, kept.num_edges),
-        )
-        top = merged.top(opts.misra_gries_t)
+
+    def _mg_table(self, merged: MisraGries, num_nodes: int) -> RemapTable:
+        """Extract the top-t remap table from a finished summary + metrics."""
+        top = merged.top(self.options.misra_gries_t)
         if self.telemetry.enabled:
             m = self.telemetry.metrics
             m.gauge("mg.summary_size", help="entries in the merged MG summary").set(
@@ -544,7 +805,17 @@ class PimTcPipeline:
             m.gauge("mg.remapped_nodes", help="top-t nodes remapped in-core").set(
                 len(top)
             )
-        return RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=kept.num_nodes)
+        return RemapTable(nodes=np.array(top, dtype=np.int64), num_nodes=num_nodes)
+
+    def _run_misra_gries(self, kept: COOGraph, clock: SimClock) -> RemapTable:
+        """Per-thread Misra-Gries over the node stream, merged, top-t extracted."""
+        merged = MisraGries(self.options.misra_gries_k)
+        self._mg_update(merged, kept.src, kept.dst)
+        clock.advance(
+            "sample_creation",
+            self._host_seconds(self.options.mg_host_cycles_per_edge, kept.num_edges),
+        )
+        return self._mg_table(merged, kept.num_nodes)
 
     @staticmethod
     def _aggregate(dpus) -> KernelAggregate:

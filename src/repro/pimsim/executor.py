@@ -146,6 +146,26 @@ class Executor:
         """
         return self.map_dpus(partial(_timed_task, fn), dpus, payloads)
 
+    def map_dpus_async(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> Callable[[], list[Any]]:
+        """Dispatch a per-DPU map and return a zero-argument ``join``.
+
+        ``join()`` blocks until every task finished, applies the engine's
+        merge-back (mutated DPUs spliced by position for the process engine),
+        and returns the results in DPU order — exactly what :meth:`map_dpus`
+        would have returned.  Between dispatch and join the caller may do
+        unrelated host work (the batched ingest loop routes the next edge
+        chunk here) but must not touch the DPUs or the payloads.
+
+        The base implementation is eager (runs the map at dispatch time), so
+        poolless engines keep their semantics; pooled engines override it to
+        overlap the work with the caller's.  Results are identical either
+        way — only wall-clock changes, never simulated time or counts.
+        """
+        results = self.map_dpus(fn, dpus, payloads)
+        return lambda: results
+
     # ------------------------------------------------------------- operations
     def launch(self, kernel: Kernel, dpus: list[Dpu]) -> list[float]:
         """Run ``kernel`` on every DPU; return per-DPU compute seconds."""
@@ -209,6 +229,15 @@ class ThreadExecutor(Executor):
         pool = self._ensure_pool()
         futures = [pool.submit(fn, dpu, payload) for dpu, payload in zip(dpus, payloads)]
         return [f.result() for f in futures]
+
+    def map_dpus_async(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> Callable[[], list[Any]]:
+        if len(dpus) <= 1 or self.jobs == 1:
+            return super().map_dpus_async(fn, dpus, payloads)
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, dpu, payload) for dpu, payload in zip(dpus, payloads)]
+        return lambda: [f.result() for f in futures]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -281,6 +310,33 @@ class ProcessExecutor(Executor):
             dpus[sl] = chunk_dpus  # splice post-run state back, by position
             results[sl] = chunk_results
         return results
+
+    def map_dpus_async(
+        self, fn: DpuTask, dpus: list[Dpu], payloads: Sequence[Any]
+    ) -> Callable[[], list[Any]]:
+        n = len(dpus)
+        if n <= 1 or self.jobs == 1:
+            return super().map_dpus_async(fn, dpus, payloads)
+        pool = self._ensure_pool()
+        if pool is None:
+            return super().map_dpus_async(fn, dpus, payloads)
+        chunks = _chunk_slices(n, self.jobs)
+        payloads = list(payloads)
+        futures = [pool.submit(_run_chunk, fn, dpus[sl], payloads[sl]) for sl in chunks]
+
+        def join() -> list[Any]:
+            try:
+                merged = [f.result() for f in futures]
+            except Exception:
+                self.close()
+                raise
+            results: list[Any] = [None] * n
+            for sl, (chunk_dpus, chunk_results) in zip(chunks, merged):
+                dpus[sl] = chunk_dpus  # deferred splice of post-run state
+                results[sl] = chunk_results
+            return results
+
+        return join
 
     def close(self) -> None:
         if self._pool is not None:

@@ -76,8 +76,20 @@ def combine_dpu_counts(
     mono = np.asarray(mono_mask, dtype=bool)
     if raw.shape != scales.shape or raw.shape != mono.shape:
         raise ValueError("raw_counts, reservoir_scales and mono_mask must align")
+    if not np.all(np.isfinite(raw)):
+        raise ValueError(
+            "raw_counts must be finite; got NaN/inf — a DPU kernel or gather "
+            "produced a corrupt count"
+        )
+    if not np.all(np.isfinite(scales)):
+        raise ValueError(
+            "reservoir scales must be finite; got NaN/inf — check reservoir "
+            "capacity vs. edges seen"
+        )
     if np.any(scales <= 0):
         raise ValueError("reservoir scales must be positive")
+    if not (np.isfinite(uniform_p) and uniform_p > 0):
+        raise ValueError(f"uniform_p must be finite and positive, got {uniform_p}")
     adjusted = raw / scales
     total = adjusted.sum()
     # Monochromatic triangles were counted by C DPUs; each single-color DPU's

@@ -66,10 +66,36 @@ class EdgeReservoir:
     _dst: np.ndarray = field(init=False)
     _size: int = field(init=False, default=0)
 
+    #: Initial backing-array size; grows geometrically up to ``capacity``.
+    _INITIAL_ROOM = 1024
+
     def __post_init__(self) -> None:
         self.capacity = check_positive("capacity", self.capacity)
-        self._src = np.empty(self.capacity, dtype=np.int64)
-        self._dst = np.empty(self.capacity, dtype=np.int64)
+        room = min(self.capacity, self._INITIAL_ROOM)
+        self._src = np.empty(room, dtype=np.int64)
+        self._dst = np.empty(room, dtype=np.int64)
+
+    def _ensure_room(self, extra: int) -> None:
+        """Grow the backing arrays to hold ``extra`` more resident edges.
+
+        Memory therefore tracks ``min(capacity, edges held)`` instead of
+        eagerly allocating ``capacity`` slots — essential when the capacity is
+        sized from a whole MRAM bank but the stream is small, and when
+        reservoirs are pickled across process boundaries (batched ingest).
+        By the time the reservoir overflows, the fill phase has forced the
+        arrays to exactly ``capacity`` entries, so replacement slots in
+        ``[0, capacity)`` are always in range.
+        """
+        need = self._size + extra
+        if need <= self._src.size:
+            return
+        room = min(self.capacity, max(need, 2 * self._src.size))
+        grown_src = np.empty(room, dtype=np.int64)
+        grown_dst = np.empty(room, dtype=np.int64)
+        grown_src[: self._size] = self._src[: self._size]
+        grown_dst[: self._size] = self._dst[: self._size]
+        self._src = grown_src
+        self._dst = grown_dst
 
     # ---------------------------------------------------------------- queries
     @property
@@ -95,6 +121,7 @@ class EdgeReservoir:
         self.seen += 1
         t = self.seen
         if t <= self.capacity:
+            self._ensure_room(1)
             self._src[self._size] = u
             self._dst[self._size] = v
             self._size += 1
@@ -115,6 +142,16 @@ class EdgeReservoir:
         arrival index, and multiple accepted edges targeting the same slot are
         resolved last-writer-wins (later arrival overwrites earlier), exactly
         as sequential processing would.
+
+        **Chunk boundaries.** Because acceptance uses the *global* arrival
+        index (``self.seen`` persists across calls), splitting one stream
+        into any sequence of ``offer_batch`` calls reproduces the sequential
+        acceptance distribution — the batched ingest pipeline relies on this.
+        While the reservoir has never overflowed the offers are pure appends
+        consuming zero RNG draws, so any chunking yields *bit-identical*
+        contents; after overflow the RNG draw layout differs between chunk
+        sizes (``random(tail)`` then ``integers(accepted)`` per call), so
+        different splits give different — equally distributed — samples.
         """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -126,6 +163,7 @@ class EdgeReservoir:
         # Phase 1: direct fills while the reservoir has room.
         fill = min(max(self.capacity - start, 0), n)
         if fill:
+            self._ensure_room(fill)
             self._src[self._size : self._size + fill] = src[:fill]
             self._dst[self._size : self._size + fill] = dst[:fill]
             self._size += fill

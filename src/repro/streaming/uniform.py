@@ -19,7 +19,7 @@ import numpy as np
 from ..common.validation import check_probability
 from ..graph.coo import COOGraph
 
-__all__ = ["UniformSample", "uniform_sample"]
+__all__ = ["UniformSample", "uniform_sample", "uniform_keep_mask"]
 
 
 @dataclass(frozen=True)
@@ -44,15 +44,45 @@ class UniformSample:
         return counted / self.triangle_scale
 
 
-def uniform_sample(graph: COOGraph, p: float, rng: np.random.Generator) -> UniformSample:
-    """Keep each edge of ``graph`` independently with probability ``p``.
+def uniform_keep_mask(num_edges: int, p: float, rng: np.random.Generator) -> np.ndarray:
+    """Boolean keep-mask for ``num_edges`` stream positions at rate ``p``.
 
-    ``p = 1`` short-circuits to the identity (exact counting path).
+    ``p >= 1`` returns an all-True mask *without drawing from ``rng``*, so the
+    exact path never perturbs the generator state.  For ``p < 1`` the mask is
+    one contiguous block of draws, which makes chunked sampling bit-identical
+    to monolithic sampling: numpy's ``Generator.random`` yields the same
+    values whether requested in one call or in consecutive smaller calls, so
+    concatenating per-chunk masks reproduces the single-call mask exactly.
     """
     p = check_probability("p", p)
     if p >= 1.0:
-        return UniformSample(graph=graph, p=1.0, edges_in=graph.num_edges)
-    keep = rng.random(graph.num_edges) < p
+        return np.ones(int(num_edges), dtype=bool)
+    return rng.random(int(num_edges)) < p
+
+
+def uniform_sample(graph: COOGraph, p: float, rng: np.random.Generator) -> UniformSample:
+    """Keep each edge of ``graph`` independently with probability ``p``.
+
+    ``p = 1`` short-circuits to the exact counting path.  Even then the
+    returned sample holds a *defensive read-only view* of the caller's graph
+    rather than the same object: downstream stages (node remapping, edge
+    orientation) may normalise arrays in place, and aliasing the caller's
+    arrays would silently corrupt their graph.
+    """
+    p = check_probability("p", p)
+    if p >= 1.0:
+        src_view = graph.src.view()
+        dst_view = graph.dst.view()
+        src_view.flags.writeable = False
+        dst_view.flags.writeable = False
+        shielded = COOGraph(
+            src=src_view,
+            dst=dst_view,
+            num_nodes=graph.num_nodes,
+            name=graph.name,
+        )
+        return UniformSample(graph=shielded, p=1.0, edges_in=graph.num_edges)
+    keep = uniform_keep_mask(graph.num_edges, p, rng)
     sampled = COOGraph(
         src=graph.src[keep],
         dst=graph.dst[keep],

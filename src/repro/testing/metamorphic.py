@@ -20,6 +20,9 @@ Relations shipped here (all provable from the definitions):
 * **remap count-preservation** — any injective remap of node IDs into a
   fresh top range (the Misra-Gries optimization, Sec. 3.5) is a bijection on
   the touched IDs and preserves the count.
+* **batch-split invariance** — splitting the edge stream into chunks (the
+  batched-ingest pipeline) leaves per-core routing, reservoir state and the
+  Misra-Gries guarantees equivalent to one monolithic pass.
 
 Each relation is a :class:`MetamorphicRelation` whose ``check`` returns a
 :class:`RelationResult`; the fuzz driver (:mod:`repro.testing.fuzz`) and the
@@ -34,10 +37,13 @@ from typing import Callable
 import numpy as np
 
 from ..coloring.partition import ColoringPartitioner
+from ..core.ingest import iter_edge_batches
 from ..core.remap import RemapTable, apply_remap
 from ..graph.coo import COOGraph
 from ..graph.triangles import count_triangles
 from ..streaming.estimators import combine_dpu_counts
+from ..streaming.misra_gries import MisraGries
+from ..streaming.reservoir import EdgeReservoir
 
 __all__ = [
     "RelationResult",
@@ -144,6 +150,115 @@ def _remap_preservation(graph: COOGraph, rng: np.random.Generator) -> tuple[bool
     return got == base, f"T(G)={base}, T(remap(G))={got} (t={t})"
 
 
+def _batch_split_invariance(graph: COOGraph, rng: np.random.Generator) -> tuple[bool, str]:
+    """Chunked ingest must be equivalent to one monolithic pass.
+
+    Three layers of the batched-ingest pipeline, three guarantees:
+
+    * **routing** — the color hash is drawn at construction, so every edge
+      copy lands on the same core regardless of chunking: per-core counts and
+      the per-core edge *multisets* must match (the within-core order differs
+      — monolithic groups copies by third color over the whole stream, the
+      chunked pass per chunk — and triangle kernels are order-invariant);
+    * **reservoir** — offers indexed by the global ``seen`` counter: before
+      overflow any chunking stores the identical contents; after overflow the
+      split may consume RNG draws in a different layout, but ``seen``/``size``/
+      ``scale`` must still match and contents must come from the stream;
+    * **Misra-Gries** — merged summaries are *not* split-invariant (the trim
+      rule depends on chunk boundaries), so we check what the pipeline relies
+      on: ``items_seen`` equality and the ``n / K`` heavy-hitter guarantee.
+    """
+    n = graph.num_edges
+    if n == 0:
+        return True, "empty graph, nothing to split"
+    batch = int(rng.integers(1, n + 1))
+
+    # --- routing: chunked assign_arrays == monolithic assign per core
+    # (counts and edge multisets; within-core order is chunking-dependent).
+    hash_seed = int(rng.integers(2**32))
+    mono = ColoringPartitioner(3, np.random.default_rng(hash_seed))
+    chunked = ColoringPartitioner(3, np.random.default_rng(hash_seed))
+    full = mono.assign(graph)
+    parts = [
+        chunked.assign_arrays(s, d)
+        for _, s, d in iter_edge_batches(graph.src, graph.dst, batch)
+    ]
+    cat_counts = np.sum([p.counts for p in parts], axis=0)
+    if not np.array_equal(cat_counts, full.counts):
+        return False, f"per-core routed counts differ (batch={batch})"
+    for dpu in range(full.counts.size):
+        cat_src = np.concatenate([p.per_dpu[dpu][0] for p in parts])
+        cat_dst = np.concatenate([p.per_dpu[dpu][1] for p in parts])
+        order_a = np.lexsort((cat_dst, cat_src))
+        f_src, f_dst = full.per_dpu[dpu]
+        order_b = np.lexsort((f_dst, f_src))
+        if not (
+            np.array_equal(cat_src[order_a], f_src[order_b])
+            and np.array_equal(cat_dst[order_a], f_dst[order_b])
+        ):
+            return False, f"routing multiset differs on core {dpu} (batch={batch})"
+
+    # --- reservoir: global-index offers across chunk boundaries.
+    cap = int(rng.integers(3, 2 * n + 2))
+    res_seed = int(rng.integers(2**32))
+    one_shot = EdgeReservoir(cap, np.random.default_rng(res_seed))
+    one_shot.offer_batch(graph.src, graph.dst)
+    split = EdgeReservoir(cap, np.random.default_rng(res_seed))
+    for _, s, d in iter_edge_batches(graph.src, graph.dst, batch):
+        split.offer_batch(s, d)
+    if (split.seen, split.size) != (one_shot.seen, one_shot.size):
+        return False, (
+            f"reservoir state differs: split (seen={split.seen}, size={split.size})"
+            f" vs one-shot (seen={one_shot.seen}, size={one_shot.size})"
+        )
+    if split.scale() != one_shot.scale():
+        return False, f"reservoir scale differs: {split.scale()} vs {one_shot.scale()}"
+    if n <= cap:
+        # Pre-overflow offers are pure appends with zero RNG draws.
+        a_src, a_dst = split.edges()
+        b_src, b_dst = one_shot.edges()
+        if not (np.array_equal(a_src, b_src) and np.array_equal(a_dst, b_dst)):
+            return False, f"no-overflow reservoir contents differ (cap={cap}, n={n})"
+    else:
+        # Post-overflow the draw layout differs; contents must still be edges
+        # of the stream (same distribution is property-tested elsewhere).
+        stream = set(zip(graph.src.tolist(), graph.dst.tolist()))
+        s_src, s_dst = split.edges()
+        if not all(e in stream for e in zip(s_src.tolist(), s_dst.tolist())):
+            return False, "overflowed split reservoir holds an edge not in the stream"
+
+    # --- Misra-Gries: n/K guarantee and items_seen survive chunking.
+    k = int(rng.integers(2, 17))
+    mg_mono = MisraGries(k)
+    mg_mono.update_array(np.concatenate([graph.src, graph.dst]))
+    mg_split = MisraGries(k)
+    for _, s, d in iter_edge_batches(graph.src, graph.dst, batch):
+        mg_split.update_array(np.concatenate([s, d]))
+    if mg_split.items_seen != mg_mono.items_seen:
+        return False, (
+            f"MG items_seen differs: {mg_split.items_seen} vs {mg_mono.items_seen}"
+        )
+    nodes, freqs = np.unique(
+        np.concatenate([graph.src, graph.dst]), return_counts=True
+    )
+    bound = mg_split.items_seen / k
+    for node, freq in zip(nodes.tolist(), freqs.tolist()):
+        if freq > bound and node not in mg_split.counters:
+            return False, (
+                f"chunked MG lost heavy hitter {node} (freq {freq} > n/K {bound:.1f})"
+            )
+        got = mg_split.counters.get(node, 0)
+        if not (freq - bound <= got <= freq):
+            return False, (
+                f"chunked MG counter for {node} out of [freq - n/K, freq]: "
+                f"{got} vs freq {freq}, n/K {bound:.1f}"
+            )
+    return True, (
+        f"batch={batch}: routing multisets equal, reservoir state equal "
+        f"(cap={cap}), MG n/K guarantee holds (K={k})"
+    )
+
+
 ALL_RELATIONS: tuple[MetamorphicRelation, ...] = (
     MetamorphicRelation(
         "relabel-invariance",
@@ -169,6 +284,12 @@ ALL_RELATIONS: tuple[MetamorphicRelation, ...] = (
         "remap-preservation",
         "the Misra-Gries top-t ID remap is a bijection and preserves the count",
         _remap_preservation,
+    ),
+    MetamorphicRelation(
+        "batch-split-invariance",
+        "chunked ingest matches a monolithic pass: per-core routing, "
+        "reservoir state, Misra-Gries guarantees",
+        _batch_split_invariance,
     ),
 )
 

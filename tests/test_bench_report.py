@@ -45,3 +45,30 @@ def test_main_writes_json(bench_report, tmp_path, capsys):
     assert document["schema"] == "repro-bench-telemetry/1"
     assert document["colors"] == 3
     assert len(document["runs"]) > 0
+
+
+def test_ingest_sweep_parity_and_bounds(bench_report):
+    document = bench_report.run_ingest_sweep("tiny", seed=0, num_colors=3)
+    assert document["schema"] == bench_report.INGEST_SCHEMA
+    assert document["runs"]
+    for run in document["runs"]:
+        assert run["counts_match"], run["graph"]
+        assert run["ingest_batches"] >= 1
+        assert 0 < run["peak_routed_bytes_batched"] <= (
+            run["peak_routed_bytes_monolithic"]
+        )
+        assert run["overlap_saved_seconds"] >= 0.0
+
+
+def test_main_writes_ingest_artifact(bench_report, tmp_path, capsys):
+    out = tmp_path / "BENCH_telemetry.json"
+    ingest_out = tmp_path / "BENCH_ingest.json"
+    code = bench_report.main(
+        ["--tier", "tiny", "--colors", "3", "--out", str(out),
+         "--ingest-out", str(ingest_out)]
+    )
+    assert code == 0
+    assert "0 count mismatches" in capsys.readouterr().out
+    document = json.loads(ingest_out.read_text())
+    assert document["schema"] == "repro-bench-ingest/1"
+    assert all(r["counts_match"] for r in document["runs"])

@@ -59,6 +59,66 @@ class TestIncrementalCorrectness:
         assert dyn.triangles == count_triangles(small_graph)
 
 
+class TestChunkedUpdates:
+    """``batch_edges`` streams each update in chunks; counts must not move."""
+
+    def test_rejects_zero_batch_edges(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPimCounter(10, num_colors=2, batch_edges=0)
+
+    @pytest.mark.parametrize("chunk", [1, 13, 10**6])
+    def test_counts_match_monolithic(self, small_graph, chunk):
+        mono = DynamicPimCounter(small_graph.num_nodes, num_colors=3, seed=2)
+        chunked = DynamicPimCounter(
+            small_graph.num_nodes, num_colors=3, seed=2, batch_edges=chunk
+        )
+        for batch in small_graph.split_batches(4):
+            a = mono.apply_update(batch)
+            b = chunked.apply_update(batch)
+            assert b.triangles_total == a.triangles_total
+            assert b.triangles_added == a.triangles_added
+        assert chunked.triangles == count_triangles(small_graph)
+
+    def test_with_misra_gries_matches_monolithic(self):
+        g = get_dataset("wikipedia", "tiny")
+        mono = DynamicPimCounter(
+            g.num_nodes, num_colors=3, seed=2, misra_gries_k=128, misra_gries_t=4
+        )
+        chunked = DynamicPimCounter(
+            g.num_nodes,
+            num_colors=3,
+            seed=2,
+            misra_gries_k=128,
+            misra_gries_t=4,
+            batch_edges=17,
+        )
+        for batch in g.split_batches(3):
+            assert (
+                chunked.apply_update(batch).triangles_total
+                == mono.apply_update(batch).triangles_total
+            )
+        assert chunked.triangles == count_triangles(g)
+
+    def test_deletion_after_chunked_inserts(self, small_graph):
+        dyn = DynamicPimCounter(
+            small_graph.num_nodes, num_colors=3, seed=1, batch_edges=29
+        )
+        dyn.apply_update(small_graph)
+        drop = small_graph.split_batches(8)[0]
+        dyn.apply_deletion(drop)
+        remaining = [
+            (int(u), int(v))
+            for u, v in zip(small_graph.src, small_graph.dst)
+            if (int(u), int(v)) not in set(zip(drop.src.tolist(), drop.dst.tolist()))
+        ]
+        from repro.graph.coo import COOGraph
+
+        expect = count_triangles(
+            COOGraph.from_edges(remaining, num_nodes=small_graph.num_nodes)
+        )
+        assert dyn.triangles == expect
+
+
 class TestTimeAccounting:
     def test_setup_excluded_from_rounds(self, small_graph):
         dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=1)

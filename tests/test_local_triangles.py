@@ -134,3 +134,38 @@ class TestPimLocalPipeline:
         glob = counter.count(small_graph)
         loc = counter.count_local(small_graph)
         assert loc.triangle_count_seconds > glob.triangle_count_seconds
+
+    def test_scalar_gather_cost_parity_with_global(self, small_graph):
+        """The local path reads ``triangle_count`` through the same gather as
+        the global path — not a free ``mram.load`` — so it must emit the
+        identical transfer event (same simulated seconds and payload bytes).
+        """
+
+        def scalar_gathers(result):
+            return [
+                (e.seconds, e.payload_bytes)
+                for e in result.trace.events
+                if e.phase == "triangle_count"
+                and e.kind == "gather"
+                and e.detail == "triangle_count"
+            ]
+
+        glob = PimTriangleCounter(num_colors=3, seed=1).count(small_graph)
+        loc = PimTriangleCounter(num_colors=3, seed=1).count_local(small_graph)
+        glob_events = scalar_gathers(glob)
+        loc_events = scalar_gathers(loc)
+        assert len(glob_events) == 1
+        assert loc_events == glob_events
+        # And the totals it transported are the global path's, element-wise.
+        assert np.array_equal(loc.per_dpu_counts, glob.per_dpu_counts)
+
+    def test_scalar_gather_charges_mram_reads(self, small_graph):
+        """Gathering the count must bump the device-side read accounting
+        (the old ``count_read=False`` path left it untouched)."""
+        loc = PimTriangleCounter(num_colors=3, seed=1).count_local(small_graph)
+        gathers = [
+            e
+            for e in loc.trace.events
+            if e.kind == "gather" and e.detail == "triangle_count"
+        ]
+        assert gathers and all(e.seconds > 0 and e.payload_bytes > 0 for e in gathers)

@@ -187,3 +187,48 @@ def test_process_executor_merges_mutations_back():
 def _store_id(dpu, _payload):
     dpu.mram.store("marker", np.array([dpu.dpu_id], dtype=np.int64), count_write=False)
     return None
+
+
+def test_map_dpus_async_matches_sync_results():
+    """join() returns exactly what map_dpus would, on every engine."""
+    from repro.pimsim.config import CostModel, DpuConfig
+    from repro.pimsim.dpu import Dpu
+
+    payloads = list(range(9))
+    for engine in (SerialExecutor(), ThreadExecutor(jobs=4), ProcessExecutor(jobs=3)):
+        dpus = [Dpu(dpu_id=i, config=DpuConfig(), cost=CostModel()) for i in range(9)]
+        try:
+            join = engine.map_dpus_async(_echo_payload, dpus, payloads)
+            assert join() == payloads
+        finally:
+            engine.close()
+
+
+def test_map_dpus_async_process_splices_mutations_at_join():
+    """Worker-side MRAM writes appear in the parent's DPU list after join()."""
+    from repro.pimsim.config import CostModel, DpuConfig
+    from repro.pimsim.dpu import Dpu
+
+    dpus = [Dpu(dpu_id=i, config=DpuConfig(), cost=CostModel()) for i in range(6)]
+    engine = ProcessExecutor(jobs=2)
+    try:
+        join = engine.map_dpus_async(_store_id, dpus, [None] * 6)
+        join()
+    finally:
+        engine.close()
+    for i, dpu in enumerate(dpus):
+        assert int(dpu.mram.load("marker", count_read=False)[0]) == i
+
+
+def test_map_dpus_async_single_dpu_is_eager():
+    """Degenerate shapes skip the pool: the base (eager) path runs inline."""
+    from repro.pimsim.config import CostModel, DpuConfig
+    from repro.pimsim.dpu import Dpu
+
+    for engine in (ThreadExecutor(jobs=4), ProcessExecutor(jobs=4)):
+        dpus = [Dpu(dpu_id=0, config=DpuConfig(), cost=CostModel())]
+        try:
+            join = engine.map_dpus_async(_echo_payload, dpus, [41])
+            assert join() == [41]
+        finally:
+            engine.close()

@@ -65,6 +65,41 @@ class TestRelationsDetectBugs:
         assert result.detail == "synthetic violation"
 
 
+class TestBatchSplitInvariance:
+    """Dedicated cases for the batched-ingest relation (chunked == monolithic)."""
+
+    def _relation(self) -> MetamorphicRelation:
+        return next(r for r in ALL_RELATIONS if r.name == "batch-split-invariance")
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=graph_strategy(max_nodes=30, max_edges=120))
+    def test_holds_on_fuzzed_graphs(self, g):
+        # Fresh rng per example so batch size / capacity / K vary widely,
+        # covering both the no-overflow (bitwise) and overflow branches.
+        result = self._relation().check(g, np.random.default_rng(g.num_edges + 1))
+        assert result.ok, result.detail
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_holds_across_batch_size_draws(self, seed):
+        g = COOGraph.from_edges(
+            [(i % 11, (i * 7 + 3) % 11) for i in range(40)], num_nodes=11
+        ).canonicalize()
+        result = self._relation().check(g, np.random.default_rng(seed))
+        assert result.ok, result.detail
+
+    def test_detail_names_the_drawn_parameters(self):
+        g = COOGraph.from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=3)
+        result = self._relation().check(g, np.random.default_rng(5))
+        assert result.ok
+        assert "batch=" in result.detail and "cap=" in result.detail
+
+    def test_empty_graph_is_trivially_ok(self):
+        g = COOGraph.from_edges([], num_nodes=0)
+        result = self._relation().check(g, np.random.default_rng(0))
+        assert result.ok
+        assert "empty" in result.detail
+
+
 class TestRelationMetadata:
     def test_every_relation_documented(self):
         for relation in ALL_RELATIONS:

@@ -56,6 +56,34 @@ class TestCombine:
                 np.ones(1), np.zeros(1), np.zeros(1, bool), num_colors=2
             )
 
+    def test_nan_raw_count_rejected(self):
+        """A corrupt gather must fail loudly, not poison the estimate."""
+        raw = np.array([3.0, np.nan, 5.0])
+        with pytest.raises(ValueError, match="finite"):
+            combine_dpu_counts(raw, np.ones(3), np.zeros(3, bool), num_colors=2)
+
+    def test_inf_raw_count_rejected(self):
+        raw = np.array([np.inf])
+        with pytest.raises(ValueError, match="finite"):
+            combine_dpu_counts(raw, np.ones(1), np.zeros(1, bool), num_colors=2)
+
+    def test_nonfinite_scale_rejected(self):
+        raw = np.array([3.0, 4.0])
+        scales = np.array([1.0, np.nan])
+        with pytest.raises(ValueError, match="finite"):
+            combine_dpu_counts(raw, scales, np.zeros(2, bool), num_colors=2)
+        with pytest.raises(ValueError, match="finite"):
+            combine_dpu_counts(
+                raw, np.array([1.0, np.inf]), np.zeros(2, bool), num_colors=2
+            )
+
+    @pytest.mark.parametrize("p", (np.nan, np.inf, 0.0, -0.5))
+    def test_degenerate_uniform_p_rejected(self, p):
+        with pytest.raises(ValueError):
+            combine_dpu_counts(
+                np.ones(1), np.ones(1), np.zeros(1, bool), num_colors=2, uniform_p=p
+            )
+
     def test_dataclass_front_end(self):
         c = CountCorrection(num_colors=2, uniform_p=1.0)
         out = c.finalize(np.array([5.0]), np.ones(1), np.array([False]))

@@ -124,6 +124,89 @@ class TestBatchRule:
         np.testing.assert_array_equal(a.edges()[0], b.edges()[0])
 
 
+class TestChunkBoundary:
+    """Chunked ``offer_batch`` calls must reproduce the sequential semantics
+    across chunk boundaries (the batched-ingest pipeline splits mid-stream)."""
+
+    @pytest.mark.parametrize("split", (1, 3, 7, 50))
+    def test_no_overflow_contents_bit_identical(self, split):
+        # Pre-overflow offers are pure appends (zero RNG draws), so any
+        # chunking stores the identical contents in the identical order.
+        n = 50
+        src, dst = np.arange(n), np.arange(n) + 100
+        one = fresh(n, seed=2)
+        one.offer_batch(src, dst)
+        chunked = fresh(n, seed=2)
+        for lo in range(0, n, split):
+            chunked.offer_batch(src[lo : lo + split], dst[lo : lo + split])
+        np.testing.assert_array_equal(chunked.edges()[0], one.edges()[0])
+        np.testing.assert_array_equal(chunked.edges()[1], one.edges()[1])
+        assert (chunked.seen, chunked.size) == (one.seen, one.size)
+
+    @pytest.mark.parametrize("split", (1, 9, 33))
+    def test_overflow_state_invariant_under_chunking(self, split):
+        n, m = 120, 16
+        src, dst = np.arange(n), np.arange(n)
+        one = fresh(m, seed=4)
+        one.offer_batch(src, dst)
+        chunked = fresh(m, seed=4)
+        for lo in range(0, n, split):
+            chunked.offer_batch(src[lo : lo + split], dst[lo : lo + split])
+        # seen/size/scale never depend on the chunking; contents are governed
+        # by global arrival indices so both remain samples of the stream.
+        assert chunked.seen == one.seen == n
+        assert chunked.size == one.size == m
+        assert chunked.scale() == one.scale()
+        assert set(chunked.edges()[0].tolist()) <= set(range(n))
+
+    def test_chunked_acceptance_distribution_matches_sequential(self):
+        """Inclusion frequencies with a mid-stream chunk boundary match the
+        one-call batch rule (and hence the sequential rule, tested above)."""
+        m, n, trials = 6, 30, 2000
+        freq_one = np.zeros(n)
+        freq_chunked = np.zeros(n)
+        for t in range(trials):
+            r1 = fresh(m, seed=t)
+            r1.offer_batch(np.arange(n), np.arange(n))
+            freq_one[r1.edges()[0]] += 1
+            r2 = fresh(m, seed=20_000 + t)
+            # Boundary inside the overflow region: offers 0..10 then 11..n.
+            r2.offer_batch(np.arange(11), np.arange(11))
+            r2.offer_batch(np.arange(11, n), np.arange(11, n))
+            freq_chunked[r2.edges()[0]] += 1
+        assert np.abs(freq_one - freq_chunked).max() / trials < 0.05
+
+
+class TestLazyGrowth:
+    def test_large_capacity_allocates_small(self):
+        r = fresh(10**6)
+        assert r._src.size == EdgeReservoir._INITIAL_ROOM
+        assert r._dst.size == EdgeReservoir._INITIAL_ROOM
+
+    def test_grows_with_stream_not_capacity(self):
+        r = fresh(10**6)
+        r.offer_batch(np.arange(3000), np.arange(3000))
+        assert r.size == 3000
+        assert 3000 <= r._src.size < 10**6
+        np.testing.assert_array_equal(r.edges()[0], np.arange(3000))
+
+    def test_overflow_forces_exact_capacity(self):
+        r = fresh(2000)
+        r.offer_batch(np.arange(5000), np.arange(5000))
+        # By overflow time the fill phase pinned the arrays to capacity, so
+        # replacement slots in [0, capacity) are always in range.
+        assert r._src.size == 2000
+        assert r.size == 2000
+
+    def test_offer_one_growth_path(self):
+        r = fresh(10**5)
+        for i in range(EdgeReservoir._INITIAL_ROOM + 10):
+            r.offer_one(i, i)
+        assert r.size == EdgeReservoir._INITIAL_ROOM + 10
+        assert r._src.size >= r.size
+        assert int(r.edges()[0][-1]) == EdgeReservoir._INITIAL_ROOM + 9
+
+
 class TestEstimator:
     def test_triangle_estimator_unbiased(self):
         """Monte-Carlo: E[count/scale] over a clique's edge stream ~ true count.

@@ -16,8 +16,32 @@ from repro.streaming.uniform import uniform_sample
 class TestSampling:
     def test_p_one_is_identity(self, small_graph, rng):
         s = uniform_sample(small_graph, 1.0, rng)
-        assert s.graph is small_graph
+        assert s.graph is not small_graph  # defensive view, not an alias
+        assert np.array_equal(s.graph.src, small_graph.src)
+        assert np.array_equal(s.graph.dst, small_graph.dst)
+        assert s.graph.num_nodes == small_graph.num_nodes
         assert s.triangle_scale == 1.0
+
+    def test_p_one_consumes_no_rng(self, small_graph):
+        """The exact path must not perturb the generator state."""
+        a, b = np.random.default_rng(3), np.random.default_rng(3)
+        uniform_sample(small_graph, 1.0, a)
+        assert a.random() == b.random()
+
+    def test_p_one_sample_cannot_mutate_caller(self, small_graph, rng):
+        """Regression: p=1 used to return the caller's own COOGraph, so any
+        downstream in-place normalization corrupted the input graph."""
+        s = uniform_sample(small_graph, 1.0, rng)
+        assert not s.graph.src.flags.writeable
+        assert not s.graph.dst.flags.writeable
+        with pytest.raises(ValueError):
+            s.graph.src[0] = 12345
+        with pytest.raises(ValueError):
+            s.graph.dst.sort()
+        # And the caller's arrays stay writable and untouched.
+        assert small_graph.src.flags.writeable
+        before = small_graph.src.copy()
+        assert np.array_equal(small_graph.src, before)
 
     def test_keeps_roughly_p_fraction(self, rng):
         g = erdos_renyi(500, 8000, rng)
