@@ -37,6 +37,7 @@ import time
 
 BENCH_SCHEMA = "repro-bench-telemetry/1"
 INGEST_SCHEMA = "repro-bench-ingest/1"
+IMBALANCE_SCHEMA = "repro-bench-imbalance/1"
 
 
 def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
@@ -136,6 +137,75 @@ def run_ingest_sweep(
     }
 
 
+def run_imbalance_sweep(
+    tier: str,
+    seed: int,
+    num_colors: int | None = None,
+    mg: tuple[int, int] = (256, 16),
+) -> dict:
+    """Per-DPU skew comparison, no-remap vs Misra-Gries -> ``BENCH_imbalance.json``.
+
+    One record per graph: the baseline run's skew statistics (count-phase
+    seconds and merge steps, the dimensions the paper's straggler story is
+    about), its top straggler attributed to a color triplet and heavy node,
+    then the same run with Misra-Gries remapping enabled, and the resulting
+    max/mean improvement factor.  Counts must agree — remapping is a node-ID
+    bijection and never changes the answer.
+    """
+    from repro.core.api import PimTriangleCounter
+    from repro.experiments.common import DEFAULT_COLORS, paper_graph_order_by_max_degree
+    from repro.graph.datasets import get_dataset
+    from repro.graph.stats import degree_stats
+
+    mg_k, mg_t = mg
+    colors = num_colors or DEFAULT_COLORS[tier]
+    runs = []
+    for name in paper_graph_order_by_max_degree(tier):
+        graph = get_dataset(name, tier)
+        max_degree, _ = degree_stats(graph)
+        base = PimTriangleCounter(num_colors=colors, seed=seed).count(graph)
+        remapped = PimTriangleCounter(
+            num_colors=colors, seed=seed, misra_gries_k=mg_k, misra_gries_t=mg_t
+        ).count(graph)
+
+        def _side(result):
+            ledger = result.imbalance
+            top = ledger.stragglers(metric="count_seconds", k=1)
+            straggler = top[0] if top else None
+            return {
+                "count_seconds": ledger.skew("count_seconds").to_dict(),
+                "merge_steps": ledger.skew("merge_steps").to_dict(),
+                "edges_routed": ledger.skew("edges_routed").to_dict(),
+                "top_straggler": straggler,
+            }
+
+        base_ratio = base.imbalance.skew("count_seconds").max_over_mean
+        mg_ratio = remapped.imbalance.skew("count_seconds").max_over_mean
+        runs.append(
+            {
+                "graph": name,
+                "num_edges": int(graph.num_edges),
+                "max_degree": int(max_degree),
+                "count": base.count,
+                "counts_match": remapped.count == base.count,
+                "misra_gries_k": mg_k,
+                "misra_gries_t": mg_t,
+                "baseline": _side(base),
+                "misra_gries": _side(remapped),
+                "skew_improvement_max_over_mean": (
+                    base_ratio / mg_ratio if mg_ratio else 1.0
+                ),
+            }
+        )
+    return {
+        "schema": IMBALANCE_SCHEMA,
+        "tier": tier,
+        "seed": seed,
+        "colors": colors,
+        "runs": runs,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="fig3-style telemetry sweep -> BENCH_telemetry.json"
@@ -151,6 +221,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-edges", type=int, default=None, metavar="B",
                         help="chunk size for --ingest-out runs "
                              "(default: |E| / 4 per graph)")
+    parser.add_argument("--imbalance-out", default=None, metavar="PATH",
+                        help="also write the per-DPU skew comparison "
+                             "(baseline vs Misra-Gries remap) artifact "
+                             "(BENCH_imbalance.json)")
+    parser.add_argument("--misra-gries", default="256:16", metavar="K:t",
+                        help="summary size and remap count for the "
+                             "--imbalance-out remapped runs (default 256:16)")
     args = parser.parse_args(argv)
 
     document = run_sweep(args.tier, args.seed, args.colors)
@@ -171,6 +248,26 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{args.ingest_out}: {len(ingest['runs'])} batched-vs-monolithic "
             f"comparisons, {len(mismatches)} count mismatches"
+        )
+        if mismatches:
+            print(f"MISMATCHED GRAPHS: {', '.join(mismatches)}", file=sys.stderr)
+            return 1
+    if args.imbalance_out:
+        mg_k, mg_t = (int(x) for x in args.misra_gries.split(":"))
+        imbalance = run_imbalance_sweep(
+            args.tier, args.seed, args.colors, mg=(mg_k, mg_t)
+        )
+        with open(args.imbalance_out, "w") as fh:
+            json.dump(imbalance, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        mismatches = [r["graph"] for r in imbalance["runs"] if not r["counts_match"]]
+        improvements = [
+            f"{r['graph']} x{r['skew_improvement_max_over_mean']:.2f}"
+            for r in imbalance["runs"]
+        ]
+        print(
+            f"{args.imbalance_out}: {len(imbalance['runs'])} skew comparisons "
+            f"(MG {mg_k}:{mg_t}) — max/mean improvement {', '.join(improvements)}"
         )
         if mismatches:
             print(f"MISMATCHED GRAPHS: {', '.join(mismatches)}", file=sys.stderr)

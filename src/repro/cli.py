@@ -116,7 +116,22 @@ def _build_parser() -> argparse.ArgumentParser:
                              "operation track)")
     parser.add_argument("--profile", action="store_true",
                         help="print a sorted self-time table per span "
-                             "(simulated and wall clocks)")
+                             "(simulated and wall clocks) plus the per-DPU "
+                             "straggler top-k")
+    parser.add_argument("--imbalance", action="store_true",
+                        help="print the per-DPU load-imbalance report: skew "
+                             "statistics per work dimension and the top "
+                             "straggler cores attributed to their color "
+                             "triplet and heaviest sampled node "
+                             "(see docs/observability.md)")
+    parser.add_argument("--imbalance-svg", default=None, metavar="PATH",
+                        help="write the per-DPU work-ledger heatmap as SVG "
+                             "(one row per metric, one column per core)")
+    parser.add_argument("--log-json", default=None, metavar="PATH",
+                        help="write an NDJSON structured event log (run/phase "
+                             "start+end, batch progress, final estimate); "
+                             "every line carries the run_id also stamped "
+                             "into the --metrics-out report")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     parser.add_argument("--fuzz", type=int, default=None, metavar="N",
@@ -151,13 +166,32 @@ def main(argv: list[str] | None = None) -> int:
     mg_k, mg_t = args.misra_gries
     print(f"graph: {graph.name} — {graph.num_nodes} nodes, {graph.num_edges} edges")
 
-    telemetry_wanted = bool(args.metrics_out or args.chrome_trace or args.profile)
+    telemetry_wanted = bool(
+        args.metrics_out or args.chrome_trace or args.profile or args.log_json
+    )
+    logger = None
+    if args.log_json:
+        from .observability import NdjsonLogger
+
+        logger = NdjsonLogger(args.log_json)
+        logger.event(
+            "run_start",
+            graph=graph.name,
+            num_nodes=int(graph.num_nodes),
+            num_edges=int(graph.num_edges),
+            colors=args.colors,
+            seed=args.seed,
+            uniform_p=args.uniform_p,
+            trials=args.trials,
+        )
     estimates = []
     result = None
     for trial in range(args.trials):
         # A fresh recorder per trial: reports describe the *last* run rather
         # than an accumulation over trials.
         telemetry = Telemetry(detail=True) if telemetry_wanted else None
+        if telemetry is not None and logger is not None:
+            telemetry.log_sink = logger.span_hook
         counter = PimTriangleCounter(
             num_colors=args.colors,
             uniform_p=args.uniform_p,
@@ -172,6 +206,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         result = counter.count_local(graph) if args.local else counter.count(graph)
         estimates.append(result.estimate)
+        if logger is not None:
+            logger.event(
+                "estimate",
+                trial=trial,
+                estimate=float(result.estimate),
+                exact=bool(result.is_exact),
+                phases={k: float(v) for k, v in result.clock.phases.items()},
+            )
 
     assert result is not None
     kind = "exact" if result.is_exact else "estimated"
@@ -191,12 +233,36 @@ def main(argv: list[str] | None = None) -> int:
         print(f"top {args.top} nodes by triangle participation:")
         for node, value in result.top_nodes(args.top):
             print(f"  node {node}: {value:.0f}")
+    if args.imbalance or args.imbalance_svg:
+        _emit_imbalance(args, result)
     if telemetry_wanted:
-        _emit_telemetry(args, graph, result)
+        _emit_telemetry(args, graph, result, logger)
+    if logger is not None:
+        logger.event("run_end", status="ok", estimate=float(result.estimate))
+        logger.close()
+        print(f"NDJSON event log written to {args.log_json} (run_id {logger.run_id})")
     return 0
 
 
-def _emit_telemetry(args, graph, result) -> None:
+def _emit_imbalance(args, result) -> None:
+    """Print/write the per-DPU imbalance diagnostics of the last run."""
+    from .observability import imbalance_heatmap_svg, render_imbalance_report
+
+    ledger = result.imbalance
+    if ledger is None:
+        print("imbalance ledger unavailable for this run")
+        return
+    if args.imbalance:
+        print()
+        print(render_imbalance_report(ledger))
+    if args.imbalance_svg:
+        with open(args.imbalance_svg, "w") as fh:
+            fh.write(imbalance_heatmap_svg(ledger))
+            fh.write("\n")
+        print(f"imbalance heatmap written to {args.imbalance_svg}")
+
+
+def _emit_telemetry(args, graph, result, logger=None) -> None:
     """Write/print the telemetry artifacts of the last run."""
     from .telemetry import RunReport, metrics_to_csv, render_profile, write_chrome_trace
 
@@ -212,6 +278,7 @@ def _emit_telemetry(args, graph, result) -> None:
                 "executor": args.executor or "serial",
                 "tier": args.tier,
             },
+            run_id=logger.run_id if logger is not None else None,
         )
         if args.metrics_out.endswith(".csv"):
             with open(args.metrics_out, "w") as fh:
@@ -225,7 +292,7 @@ def _emit_telemetry(args, graph, result) -> None:
               "(open in chrome://tracing or ui.perfetto.dev)")
     if args.profile:
         print()
-        print(render_profile(tel))
+        print(render_profile(tel, imbalance=result.imbalance))
 
 
 if __name__ == "__main__":

@@ -127,6 +127,10 @@ class _PreparedRun:
     ingest_batches: int = 1
     #: Peak bytes of routed edge buffers resident on the host at once.
     peak_routed_bytes: int = 0
+    #: Per-DPU simulated seconds of sample insertion (imbalance ledger input).
+    insert_seconds: np.ndarray | None = None
+    #: Misra-Gries remap table broadcast to the cores (None when disabled).
+    remap_nodes: np.ndarray | None = None
 
     def reservoir_scales(self) -> np.ndarray:
         return np.array(
@@ -318,6 +322,7 @@ class PimTcPipeline:
                         "sample_creation", "scatter", stats.seconds, stats.payload_bytes,
                         "edge batches",
                     )
+                    dpus.note_dpu_xfer(routed_bytes)
                     rounds = 1
                 else:
                     batch = int(opts.transfer_batch_edges)
@@ -336,6 +341,7 @@ class PimTcPipeline:
                         )
                         remaining -= this_round
                         rounds += 1
+                    dpus.note_dpu_xfer(routed_bytes)
                 if scatter_span is not None:
                     scatter_span.attrs["rounds"] = rounds
             if remap_payload is not None and remap_payload.t > 0:
@@ -346,6 +352,7 @@ class PimTcPipeline:
                         "sample_creation", "broadcast", stats.seconds,
                         stats.payload_bytes, "remap_table",
                     )
+                    dpus.note_dpu_xfer(remap_payload.nbytes())
 
             capacity = self._reservoir_capacity()
             remap_nodes = (
@@ -409,6 +416,8 @@ class PimTcPipeline:
             ingest_batches=1,
             # Monolithic routing materializes every per-core buffer at once.
             peak_routed_bytes=int(partition.counts.sum()) * edge_bytes,
+            insert_seconds=np.array(insert_times, dtype=np.float64),
+            remap_nodes=remap_nodes,
         )
 
     def _scatter_seconds(
@@ -479,6 +488,7 @@ class PimTcPipeline:
         merged_mg = MisraGries(opts.misra_gries_k) if opts.misra_gries_k > 0 else None
         schedule = DoubleBufferSchedule()
         routed_counts = np.zeros(num_dpus, dtype=np.int64)
+        insert_secs = np.zeros(num_dpus, dtype=np.float64)
         edges_kept = 0
         peak_routed_bytes = 0
         window_bytes = 0  # routed bytes of the still-inserting previous chunk
@@ -488,8 +498,9 @@ class PimTcPipeline:
             """Join one in-flight chunk and advance the overlapped clock."""
             k, h_k, xfer_seconds, xfer_bytes, join = entry
             results = join()
-            for d, (res, _n_in, _secs) in enumerate(results):
+            for d, (res, _n_in, secs) in enumerate(results):
                 reservoirs[d] = res
+                insert_secs[d] += secs
             compute = max((secs for _, _, secs in results), default=0.0)
             d_k = xfer_seconds + cost.launch_latency + compute
             delta = schedule.step(h_k, d_k)
@@ -534,6 +545,7 @@ class PimTcPipeline:
                 xfer_seconds, xfer_bytes, _rounds = self._scatter_seconds(
                     dpus, part.counts, edge_bytes
                 )
+                dpus.note_dpu_xfer(part.counts * edge_bytes)
                 # Double buffering keeps at most two chunks' routed buffers
                 # resident: the one still inserting plus the one just routed.
                 peak_routed_bytes = max(peak_routed_bytes, window_bytes + chunk_bytes)
@@ -564,6 +576,7 @@ class PimTcPipeline:
                         "sample_creation", "broadcast", stats.seconds,
                         stats.payload_bytes, "remap_table",
                     )
+                    dpus.note_dpu_xfer(remap_payload.nbytes())
                 for dpu in dpus.dpus:
                     dpu.mram.store(
                         "remap_table", remap_payload.nodes, count_write=False
@@ -604,6 +617,12 @@ class PimTcPipeline:
             edges_kept=edges_kept,
             ingest_batches=schedule.batches,
             peak_routed_bytes=peak_routed_bytes,
+            insert_seconds=insert_secs,
+            remap_nodes=(
+                remap_payload.nodes
+                if remap_payload is not None and remap_payload.t > 0
+                else None
+            ),
         )
 
     def _finish_global(self, graph: COOGraph, prep: "_PreparedRun") -> TcResult:
@@ -630,6 +649,7 @@ class PimTcPipeline:
                 )
 
             kernel_aggregate = self._aggregate(dpus)
+            imbalance = self._harvest_imbalance(prep)
             dpus.free()
         self._record_kernel_metrics(kernel_aggregate)
         return TcResult(
@@ -653,6 +673,7 @@ class PimTcPipeline:
             },
             trace=dpus.trace,
             telemetry=self.telemetry,
+            imbalance=imbalance,
         )
 
     def run_local(self, graph: COOGraph) -> "LocalTcResult":
@@ -691,6 +712,7 @@ class PimTcPipeline:
                 )
 
             kernel_aggregate = self._aggregate(dpus)
+            imbalance = self._harvest_imbalance(prep)
             dpus.free()
         self._record_kernel_metrics(kernel_aggregate)
         return LocalTcResult(
@@ -714,10 +736,33 @@ class PimTcPipeline:
             },
             trace=dpus.trace,
             telemetry=self.telemetry,
+            imbalance=imbalance,
             local_estimates=combined,
         )
 
     # ----------------------------------------------------------------- internals
+    def _harvest_imbalance(self, prep: "_PreparedRun"):
+        """Collect the per-DPU work ledger after the count launch.
+
+        Runs between the counting launch and ``dpus.free()`` so the
+        per-launch charge ledgers still hold the counting kernel's work.
+        Pure observation: reads uncharged MRAM symbols and the lifetime
+        charge counters, touches neither the clock nor the trace — the
+        differential parity grid pins that this call is invisible to every
+        simulated number.
+        """
+        from ..observability.imbalance import collect_ledger
+
+        return collect_ledger(
+            prep.dpus,
+            prep.partitioner.table,
+            edges_routed=prep.routed_counts,
+            seen=prep.seen,
+            capacity=prep.capacity,
+            insert_seconds=prep.insert_seconds,
+            remap_nodes=prep.remap_nodes,
+        )
+
     def _record_sample_metrics(
         self,
         edges_input: int,

@@ -57,6 +57,9 @@ class TcResult:
     trace: Trace | None = None
     #: Telemetry recorder of the run (span tree + metrics), if kept.
     telemetry: Telemetry | None = None
+    #: Per-DPU work ledger for straggler analysis, if harvested
+    #: (:class:`~repro.observability.imbalance.ImbalanceLedger`).
+    imbalance: "object | None" = None
 
     # ------------------------------------------------------------- convenience
     @property
@@ -151,6 +154,17 @@ class TcResult:
                     "total_bytes": int(self.trace.total_bytes()),
                 }
                 if self.trace is not None
+                else None
+            ),
+            "imbalance": (
+                {
+                    "skew": {
+                        m: self.imbalance.skew(m).to_dict()
+                        for m in ("edges_routed", "merge_steps", "count_seconds")
+                    },
+                    "stragglers": self.imbalance.stragglers(k=3),
+                }
+                if self.imbalance is not None
                 else None
             ),
             "meta": {k: v for k, v in self.meta.items() if not k.startswith("_")},

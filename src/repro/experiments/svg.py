@@ -19,7 +19,13 @@ from typing import Sequence
 
 from .tables import Table
 
-__all__ = ["bar_chart_svg", "line_chart_svg", "figure_spec_for", "render_figure"]
+__all__ = [
+    "bar_chart_svg",
+    "line_chart_svg",
+    "heatmap_svg",
+    "figure_spec_for",
+    "render_figure",
+]
 
 #: Validated reference palette — categorical slots in fixed order (light mode).
 PALETTE = (
@@ -305,6 +311,83 @@ def line_chart_svg(
         parts.append(
             f'<text x="{frame.x(to_frac_x(x)):.1f}" y="{baseline + 14:.1f}" '
             f'font-size="10" text-anchor="middle" fill="{TEXT_SECONDARY}">{_fmt_val(x)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _blend(frac: float, base: str = SURFACE, accent: str = PALETTE[0]) -> str:
+    """Linear blend surface -> accent; sequential single-hue cell shading."""
+    frac = min(max(frac, 0.0), 1.0)
+    b = tuple(int(base[i : i + 2], 16) for i in (1, 3, 5))
+    a = tuple(int(accent[i : i + 2], 16) for i in (1, 3, 5))
+    rgb = tuple(round(bc + (ac - bc) * frac) for bc, ac in zip(b, a))
+    return f"#{rgb[0]:02x}{rgb[1]:02x}{rgb[2]:02x}"
+
+
+def heatmap_svg(
+    title: str,
+    row_labels: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    subtitle: str = "",
+    col_label: str = "column",
+    width: int = 720,
+    cell_h: int = 22,
+) -> str:
+    """Row-normalized heatmap: one row per metric, one column per entity.
+
+    Each row is shaded independently against its own maximum (sequential
+    single-hue ramp from the surface color to the first palette slot), so
+    rows with different units — seconds next to bytes — stay comparable as
+    *shapes*.  The per-row maximum is printed at the row's right edge; text
+    stays in ink tokens, never in cell color.
+    """
+    rows = [list(map(float, r)) for r in matrix]
+    n_rows = len(rows)
+    n_cols = max((len(r) for r in rows), default=0)
+    label_w = 8 + max((7 * len(str(lb)) for lb in row_labels), default=0)
+    frame = _Frame(
+        width=width,
+        height=64 + n_rows * cell_h + 28,
+        margin_left=min(max(label_w, 64), 220),
+        margin_right=64,
+        margin_top=56,
+        margin_bottom=28,
+    )
+    parts = _header(frame, title, subtitle)
+    cell_w = frame.plot_w / max(n_cols, 1)
+    for ri, (label, values) in enumerate(zip(row_labels, rows)):
+        top = frame.margin_top + ri * cell_h
+        vmax = max(values) if values and max(values) > 0 else 1.0
+        for ci, value in enumerate(values):
+            x = frame.margin_left + ci * cell_w
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top}" width="{cell_w + 0.5:.1f}" '
+                f'height="{cell_h - 2}" fill="{_blend(value / vmax)}"/>'
+            )
+        parts.append(
+            f'<text x="{frame.margin_left - 6}" y="{top + cell_h / 2 + 3:.1f}" '
+            f'font-size="10" text-anchor="end" fill="{TEXT_SECONDARY}">{label}</text>'
+        )
+        parts.append(
+            f'<text x="{frame.margin_left + frame.plot_w + 6}" '
+            f'y="{top + cell_h / 2 + 3:.1f}" font-size="9" '
+            f'fill="{TEXT_SECONDARY}">max {_fmt_val(vmax if values else 0.0)}</text>'
+        )
+    axis_y = frame.margin_top + n_rows * cell_h + 14
+    # Sparse column ticks: first / quartiles / last, deduplicated.
+    if n_cols:
+        ticks = sorted({0, n_cols // 4, n_cols // 2, (3 * n_cols) // 4, n_cols - 1})
+        for ci in ticks:
+            x = frame.margin_left + (ci + 0.5) * cell_w
+            parts.append(
+                f'<text x="{x:.1f}" y="{axis_y}" font-size="9" text-anchor="middle" '
+                f'fill="{TEXT_SECONDARY}">{ci}</text>'
+            )
+        parts.append(
+            f'<text x="{frame.margin_left + frame.plot_w / 2:.1f}" y="{axis_y + 13}" '
+            f'font-size="10" text-anchor="middle" '
+            f'fill="{TEXT_SECONDARY}">{col_label}</text>'
         )
     parts.append("</svg>")
     return "\n".join(parts)

@@ -1,0 +1,44 @@
+"""Observability: per-DPU load-imbalance analysis and structured run logs.
+
+The telemetry layer (:mod:`repro.telemetry`) records *what a run did*; this
+package turns those recordings into the paper's central diagnosis — which
+PIM cores are **stragglers**, why (which color triplet, which hub node), and
+whether the Misra-Gries remap (Sec. 3.5) actually flattened the skew:
+
+* :mod:`repro.observability.imbalance` — the per-DPU work ledger
+  (:class:`ImbalanceLedger`) harvested from a finished run, plus
+  :func:`skew_stats` (max/mean, p99/p50, CV) over any work column;
+* :mod:`repro.observability.report` — the ``repro-count --imbalance`` text
+  straggler report and the per-DPU SVG heatmap;
+* :mod:`repro.observability.logjson` — NDJSON structured event logs
+  (``repro-count --log-json``) carrying a ``run_id`` that joins log lines
+  to the matching :class:`~repro.telemetry.export.RunReport`.
+
+Collection is **observation only**: it reads uncharged simulator state and
+never touches the :class:`~repro.pimsim.kernel.SimClock`, the
+:class:`~repro.pimsim.trace.Trace`, or any non-volatile metric, so every
+simulated number stays bit-identical with or without it (pinned by the
+differential parity grid).
+"""
+
+from .imbalance import (
+    SKEW_METRICS,
+    ImbalanceLedger,
+    SkewStats,
+    collect_ledger,
+    skew_stats,
+)
+from .logjson import NdjsonLogger, new_run_id
+from .report import imbalance_heatmap_svg, render_imbalance_report
+
+__all__ = [
+    "ImbalanceLedger",
+    "SkewStats",
+    "SKEW_METRICS",
+    "collect_ledger",
+    "skew_stats",
+    "render_imbalance_report",
+    "imbalance_heatmap_svg",
+    "NdjsonLogger",
+    "new_run_id",
+]

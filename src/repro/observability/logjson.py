@@ -1,0 +1,91 @@
+"""NDJSON structured event log for long-running counts (``--log-json``).
+
+One JSON object per line, written and flushed as the run progresses so a
+long count can be tailed (``tail -f run.ndjson | jq .``) or shipped to a log
+aggregator.  Every line carries the same ``run_id`` that the CLI stamps into
+the :class:`~repro.telemetry.export.RunReport`, so logs join to reports by
+equality on that field.
+
+Event vocabulary (the ``event`` field):
+
+* ``run_start`` — graph name/size and the run configuration;
+* ``span_start`` / ``span_end`` — one pair per telemetry span, including
+  the paper's three phases (``path`` of depth 1) and, on the batched-ingest
+  path, the per-chunk ``batch[k]`` spans (batch progress);
+* ``estimate`` — the final triangle estimate with the phase ledger;
+* ``run_end`` — exit status and total wall seconds.
+
+Timestamps (``ts``) are wall-clock seconds since the Unix epoch; ``sim``
+fields are simulated seconds from the cost model.  The logger only ever
+*observes* — it is fed by the telemetry span hooks and writes no simulated
+state, so enabling it cannot change any simulated number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import IO, Any
+
+__all__ = ["NdjsonLogger", "new_run_id"]
+
+
+def new_run_id() -> str:
+    """A fresh opaque run identifier (joins NDJSON lines to the RunReport)."""
+    return uuid.uuid4().hex
+
+
+class NdjsonLogger:
+    """Append-only NDJSON event writer bound to one ``run_id``.
+
+    Usable as a context manager; every :meth:`event` call writes one line and
+    flushes, so consumers see events as they happen rather than at close.
+    """
+
+    def __init__(self, path: str | os.PathLike, run_id: str | None = None) -> None:
+        self.path = os.fspath(path)
+        self.run_id = run_id or new_run_id()
+        self._fh: IO[str] | None = open(self.path, "w")
+        self.lines_written = 0
+
+    # ------------------------------------------------------------------ events
+    def event(self, event: str, **fields: Any) -> None:
+        """Write one event line: ``{"ts": ..., "run_id": ..., "event": ...}``."""
+        if self._fh is None:
+            return
+        record = {"ts": time.time(), "run_id": self.run_id, "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True, default=_jsonify) + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def span_hook(self, kind: str, path: str, **fields: Any) -> None:
+        """Adapter matching :attr:`repro.telemetry.spans.Telemetry.log_sink`.
+
+        ``kind`` is ``"start"`` or ``"end"``; ``fields`` carry the span's
+        wall/simulated durations on ``end``.
+        """
+        self.event(f"span_{kind}", path=path, **fields)
+
+    # ------------------------------------------------------------------- close
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "NdjsonLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonify(value: Any):
+    """Fallback serializer: NumPy scalars/arrays -> plain Python."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

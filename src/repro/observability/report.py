@@ -1,0 +1,81 @@
+"""Render the imbalance ledger: text straggler report and per-DPU heatmap.
+
+The text report is what ``repro-count --imbalance`` prints — skew statistics
+per work dimension followed by the top-k straggler table, each straggler
+attributed to its color triplet (the paper's N/3N/6N load class) and the
+heaviest node of its stored sample, flagged when that node was Misra-Gries
+remapped.  The SVG heatmap (``--imbalance-svg``) lays every work column over
+the DPU axis so a straggler shows as a dark stripe in otherwise even rows.
+"""
+
+from __future__ import annotations
+
+from .imbalance import SKEW_METRICS, ImbalanceLedger
+
+__all__ = ["render_imbalance_report", "imbalance_heatmap_svg"]
+
+#: Ledger columns drawn as heatmap rows, in display order.
+_HEATMAP_ROWS: tuple[str, ...] = (
+    "edges_routed",
+    "merge_steps",
+    "instructions",
+    "mram_bytes",
+    "insert_seconds",
+    "count_seconds",
+)
+
+
+def render_imbalance_report(
+    ledger: ImbalanceLedger, metric: str = "count_seconds", top_k: int = 5
+) -> str:
+    """The ``--imbalance`` text report: skew table + straggler attribution."""
+    lines = [
+        f"per-DPU load imbalance — {ledger.num_dpus} PIM cores, "
+        f"C={ledger.num_colors}",
+        "",
+        f"{'metric':<16} {'max/mean':>9} {'p99/p50':>9} {'cv':>7} {'max':>12} {'mean':>12}",
+    ]
+    for name in SKEW_METRICS:
+        s = ledger.skew(name)
+        lines.append(
+            f"{name:<16} {s.max_over_mean:>9.3f} {s.p99_over_p50:>9.3f} "
+            f"{s.cv:>7.3f} {s.max:>12.4g} {s.mean:>12.4g}"
+        )
+    lines += [
+        "",
+        f"top {top_k} stragglers by {metric}:",
+        f"{'dpu':>5} {'triplet':<12} {'cls':>3} {'value':>12} {'share':>7} "
+        f"{'edges':>9} {'heavy node':>11} {'x':>5}  remapped",
+    ]
+    for row in ledger.stragglers(metric=metric, k=top_k):
+        triplet = "(" + ",".join(str(c) for c in row["triplet"]) + ")"
+        lines.append(
+            f"{row['dpu']:>5} {triplet:<12} {row['distinct_colors']:>3} "
+            f"{row['value']:>12.4g} {row['share'] * 100:>6.1f}% "
+            f"{row['edges_routed']:>9} {row['heavy_node']:>11} "
+            f"{row['heavy_node_multiplicity']:>5}  "
+            f"{'yes' if row['heavy_node_remapped'] else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+def imbalance_heatmap_svg(ledger: ImbalanceLedger, title: str | None = None) -> str:
+    """Per-DPU heatmap over the ledger's work columns (one row per metric).
+
+    Reuses the experiments' SVG helpers so figure styling stays uniform
+    across the repo's artifacts.
+    """
+    from ..experiments.svg import heatmap_svg
+
+    skew = ledger.skew("count_seconds")
+    return heatmap_svg(
+        title or "Per-DPU work ledger",
+        row_labels=list(_HEATMAP_ROWS),
+        matrix=[ledger.column(m).tolist() for m in _HEATMAP_ROWS],
+        subtitle=(
+            f"{ledger.num_dpus} PIM cores, C={ledger.num_colors} — "
+            f"count-time max/mean {skew.max_over_mean:.2f}, cv {skew.cv:.2f} "
+            f"(each row shaded against its own max)"
+        ),
+        col_label="DPU id",
+    )

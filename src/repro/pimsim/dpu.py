@@ -56,11 +56,17 @@ class Dpu:
     def __post_init__(self) -> None:
         self.mram = Mram(capacity=self.config.mram_bytes)
         self.wram = Wram(capacity=self.config.wram_bytes, num_tasklets=self.config.num_tasklets)
+        # Lifetime work ledger: accumulates across launches (reset_charges
+        # does not touch it).  Pure observation for the imbalance analysis —
+        # never read by the cost model, so it cannot perturb simulated time.
+        self.lifetime_instructions = 0.0
+        self.lifetime_dma_requests = 0
+        self.lifetime_dma_bytes = 0
         self.reset_charges()
 
     # ----------------------------------------------------------------- charges
     def reset_charges(self) -> None:
-        """Zero the per-launch instruction/DMA ledgers."""
+        """Zero the per-launch instruction/DMA ledgers (lifetime totals persist)."""
         n = self.config.num_tasklets
         self._instr = np.zeros(n, dtype=np.float64)
         self._dma_seconds = np.zeros(n, dtype=np.float64)
@@ -71,6 +77,7 @@ class Dpu:
         """Charge ``count`` instructions to one tasklet."""
         self._check_tasklet(tasklet)
         self._instr[tasklet] += float(count)
+        self.lifetime_instructions += float(count)
 
     def charge_instructions_all(self, per_tasklet: np.ndarray) -> None:
         """Charge a whole vector of instruction counts (index = tasklet ID)."""
@@ -80,10 +87,12 @@ class Dpu:
                 f"expected {self._instr.size} tasklet charges, got shape {arr.shape}"
             )
         self._instr += arr
+        self.lifetime_instructions += float(arr.sum())
 
     def charge_balanced(self, total_instructions: float) -> None:
         """Charge work that the kernel splits evenly over all tasklets."""
         self._instr += float(total_instructions) / self.config.num_tasklets
+        self.lifetime_instructions += float(total_instructions)
 
     def charge_mram_read(self, tasklet: int, nbytes: int, requests: int = 1) -> None:
         """Charge a DMA read of ``nbytes`` split over ``requests`` transfers."""
@@ -100,6 +109,8 @@ class Dpu:
         self._dma_seconds[tasklet] += setup + nbytes / bandwidth
         self._dma_requests += int(requests)
         self._dma_bytes += int(nbytes)
+        self.lifetime_dma_requests += int(requests)
+        self.lifetime_dma_bytes += int(nbytes)
 
     def _check_tasklet(self, tasklet: int) -> None:
         if not (0 <= tasklet < self.config.num_tasklets):

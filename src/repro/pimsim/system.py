@@ -104,10 +104,26 @@ class DpuSet:
     kernel: Kernel | None = None
     executor: Executor = field(default_factory=SerialExecutor)
     telemetry: Telemetry | None = None
+    #: Per-DPU host<->core bytes moved (work ledger for imbalance analysis);
+    #: observation only — never read by the transfer cost model.
+    dpu_xfer_bytes: np.ndarray | None = None
     _freed: bool = False
 
     def __len__(self) -> int:
         return len(self.dpus)
+
+    def note_dpu_xfer(self, per_dpu_bytes: np.ndarray | int) -> None:
+        """Accumulate host<->core payload bytes into the per-DPU work ledger.
+
+        Accepts a per-DPU array or a scalar applied to every core (broadcast).
+        Called by both the :class:`DpuSet` transfer methods and the host
+        pipeline's cost-only scatter paths, so the ledger covers every payload
+        an imbalance analysis wants to attribute regardless of which path
+        moved it.
+        """
+        if self.dpu_xfer_bytes is None:
+            self.dpu_xfer_bytes = np.zeros(len(self.dpus), dtype=np.int64)
+        self.dpu_xfer_bytes += np.asarray(per_dpu_bytes, dtype=np.int64)
 
     def _check_alive(self) -> None:
         if self._freed:
@@ -214,6 +230,7 @@ class DpuSet:
             self.clock.advance(phase, stats.seconds)
             self.trace.record(phase, "broadcast", stats.seconds, stats.payload_bytes, symbol)
             self._count_transfer("broadcast", stats.payload_bytes)
+            self.note_dpu_xfer(int(array.nbytes))
             for dpu in self.dpus:
                 dpu.mram.store(symbol, array, count_write=False)
 
@@ -232,6 +249,7 @@ class DpuSet:
             self.clock.advance(phase, stats.seconds)
             self.trace.record(phase, "scatter", stats.seconds, stats.payload_bytes, symbol)
             self._count_transfer("scatter", stats.payload_bytes)
+            self.note_dpu_xfer(sizes)
             for dpu, arr in zip(self.dpus, arrays):
                 dpu.mram.store(symbol, arr, count_write=False)
 
@@ -245,6 +263,7 @@ class DpuSet:
             self.clock.advance(phase, stats.seconds)
             self.trace.record(phase, "gather", stats.seconds, stats.payload_bytes, symbol)
             self._count_transfer("gather", stats.payload_bytes)
+            self.note_dpu_xfer(sizes)
             if span is not None:
                 span.attrs["symbol"] = symbol
         return arrays

@@ -27,6 +27,7 @@ catalog, and the report schema.
 """
 
 from .export import (
+    ACCEPTED_RUN_REPORT_SCHEMAS,
     RUN_REPORT_SCHEMA,
     RunReport,
     chrome_trace,
@@ -58,6 +59,7 @@ __all__ = [
     "DEFAULT_SIZE_BUCKETS",
     "RunReport",
     "RUN_REPORT_SCHEMA",
+    "ACCEPTED_RUN_REPORT_SCHEMAS",
     "chrome_trace",
     "write_chrome_trace",
     "metrics_to_csv",

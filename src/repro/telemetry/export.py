@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import io
 import json
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -31,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pimsim uses us)
 
 __all__ = [
     "RUN_REPORT_SCHEMA",
+    "ACCEPTED_RUN_REPORT_SCHEMAS",
     "RunReport",
     "chrome_trace",
     "write_chrome_trace",
@@ -39,8 +41,15 @@ __all__ = [
     "validate_run_report",
 ]
 
-#: Schema tag embedded in (and required of) every run report.
-RUN_REPORT_SCHEMA = "repro-run-report/1"
+#: Schema tag embedded in every *newly written* run report.  Version 2 adds
+#: the optional ``imbalance`` section (the per-DPU work ledger of
+#: :mod:`repro.observability.imbalance`) and the optional ``run_id`` field
+#: that joins a report to its ``--log-json`` NDJSON stream.
+RUN_REPORT_SCHEMA = "repro-run-report/2"
+
+#: Tags :func:`validate_run_report` accepts: v1 documents (no imbalance /
+#: run_id) remain valid forever — consumers must not reject old baselines.
+ACCEPTED_RUN_REPORT_SCHEMAS = ("repro-run-report/1", "repro-run-report/2")
 
 
 # --------------------------------------------------------------------- report
@@ -54,13 +63,26 @@ class RunReport:
     volatile_metrics: dict = field(default_factory=dict)
     graph: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
+    #: Full per-DPU work ledger (schema v2; ``None`` when not harvested).
+    imbalance: dict | None = None
+    #: Opaque identifier joining this report to its NDJSON log stream.
+    run_id: str | None = None
 
     @classmethod
-    def from_result(cls, result: Any, graph: Any = None, config: dict | None = None) -> "RunReport":
+    def from_result(
+        cls,
+        result: Any,
+        graph: Any = None,
+        config: dict | None = None,
+        run_id: str | None = None,
+    ) -> "RunReport":
         """Bundle a :class:`~repro.core.result.TcResult` and its telemetry.
 
         ``result.telemetry`` supplies the span tree and metric snapshots;
         a result produced with telemetry disabled yields empty sections.
+        ``result.imbalance``, when the pipeline harvested a ledger, becomes
+        the v2 ``imbalance`` section (skew stats + straggler table + per-DPU
+        columns).
         """
         tel: Telemetry | None = getattr(result, "telemetry", None)
         graph_info = {}
@@ -70,6 +92,7 @@ class RunReport:
                 "num_nodes": int(graph.num_nodes),
                 "num_edges": int(graph.num_edges),
             }
+        ledger = getattr(result, "imbalance", None)
         return cls(
             result=result.to_dict(),
             spans=tel.to_dict() if tel is not None else {"enabled": False, "spans": []},
@@ -77,17 +100,21 @@ class RunReport:
             volatile_metrics=tel.metrics.snapshot(volatile=True) if tel is not None else {},
             graph=graph_info,
             config=dict(config or {}),
+            imbalance=ledger.to_dict() if ledger is not None else None,
+            run_id=run_id,
         )
 
     def to_dict(self) -> dict:
         return {
             "schema": RUN_REPORT_SCHEMA,
+            "run_id": self.run_id,
             "graph": self.graph,
             "config": self.config,
             "result": self.result,
             "spans": self.spans,
             "metrics": self.metrics,
             "volatile_metrics": self.volatile_metrics,
+            "imbalance": self.imbalance,
         }
 
     def write_json(self, path: str) -> None:
@@ -125,13 +152,43 @@ def validate_run_report(data: dict) -> list[str]:
     errors: list[str] = []
     if not isinstance(data, dict):
         return ["report: not a JSON object"]
-    if data.get("schema") != RUN_REPORT_SCHEMA:
+    schema = data.get("schema")
+    if schema not in ACCEPTED_RUN_REPORT_SCHEMAS:
         errors.append(
-            f"report: schema is {data.get('schema')!r}, expected {RUN_REPORT_SCHEMA!r}"
+            f"report: schema is {schema!r}, expected one of "
+            f"{ACCEPTED_RUN_REPORT_SCHEMAS!r}"
         )
     for section in ("graph", "config", "result", "spans", "metrics", "volatile_metrics"):
         if not isinstance(data.get(section), dict):
             errors.append(f"report: missing or non-object section {section!r}")
+    # v2-only sections; optional (absent in v1 documents, nullable in v2).
+    run_id = data.get("run_id")
+    if run_id is not None and not isinstance(run_id, str):
+        errors.append(f"report: run_id has type {type(run_id).__name__}")
+    imbalance = data.get("imbalance")
+    if imbalance is not None:
+        if not isinstance(imbalance, dict):
+            errors.append(f"report: imbalance has type {type(imbalance).__name__}")
+        else:
+            for key, kind in (
+                ("num_dpus", int),
+                ("num_colors", int),
+                ("skew", dict),
+                ("stragglers", list),
+                ("per_dpu", dict),
+            ):
+                if key not in imbalance:
+                    errors.append(f"imbalance: missing {key!r}")
+                elif not isinstance(imbalance[key], kind):
+                    errors.append(
+                        f"imbalance: {key!r} has type {type(imbalance[key]).__name__}"
+                    )
+            for name, entry in (imbalance.get("skew") or {}).items():
+                if not isinstance(entry, dict) or "max_over_mean" not in entry:
+                    errors.append(f"imbalance.skew[{name}]: missing 'max_over_mean'")
+            for i, row in enumerate(imbalance.get("stragglers") or []):
+                if not isinstance(row, dict) or "dpu" not in row or "triplet" not in row:
+                    errors.append(f"imbalance.stragglers[{i}]: missing dpu/triplet")
     result = data.get("result")
     if isinstance(result, dict):
         if not isinstance(result.get("phases"), dict):
@@ -185,6 +242,58 @@ def metrics_to_csv(snapshot: dict) -> str:
 
 
 # --------------------------------------------------------------- chrome trace
+_DPU_LANE_RE = re.compile(r"^dpu(\d+)$")
+
+
+def _dpu_lane_events(telemetry: Telemetry) -> list[dict]:
+    """One simulated-axis lane per DPU id from the per-DPU detail spans.
+
+    Reconstructs each span's simulated *start* by walking the tree in
+    recording order: ordinary children run sequentially from their parent's
+    start, while ``dpuN`` detail children all start together at their
+    parent's cursor (real DPUs run concurrently; the parent only charged the
+    slowest).  Each detail span becomes one slice on thread track
+    ``tid = dpu_id + 1`` of the "simulated PIM timeline" process, so a
+    straggler DPU reads as the one long bar in a wall of short ones.
+    """
+    events: list[dict] = []
+    seen_dpus: set[int] = set()
+
+    def walk(span: Span, start: float) -> None:
+        cursor = start
+        for child in span.children:
+            match = _DPU_LANE_RE.match(child.name)
+            if match is not None:
+                dpu_id = int(match.group(1))
+                seen_dpus.add(dpu_id)
+                events.append(
+                    {
+                        "name": f"{span.name}/{child.name}",
+                        "cat": "sim-dpu",
+                        "ph": "X",
+                        "ts": cursor * 1e6,
+                        "dur": child.sim_seconds * 1e6,
+                        "pid": 2,
+                        "tid": dpu_id + 1,
+                        "args": {"path": child.path, "sim_seconds": child.sim_seconds},
+                    }
+                )
+            else:
+                walk(child, cursor)
+                cursor += child.sim_seconds
+
+    cursor = 0.0
+    for top in telemetry.root.children:
+        walk(top, cursor)
+        cursor += top.sim_seconds
+    for dpu_id in sorted(seen_dpus):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 2, "tid": dpu_id + 1,
+             "args": {"name": f"dpu {dpu_id}"}}
+        )
+    return events
+
+
 def _span_events(span: Span, depth: int, events: list[dict]) -> None:
     events.append(
         {
@@ -212,7 +321,10 @@ def chrome_trace(telemetry: Telemetry, trace: Trace | None = None) -> dict:
     Track ``pid=1`` holds the wall-clock span tree, one ``tid`` per nesting
     depth.  Track ``pid=2``, when a simulator :class:`Trace` is given, lays
     the operation ledger out on the *simulated* axis (cumulative simulated
-    microseconds), which is the timeline the paper's numbers live on.
+    microseconds), which is the timeline the paper's numbers live on — on
+    ``tid=0`` as the flattened machine-wide ledger, plus (when per-DPU
+    detail spans were recorded) one thread lane per DPU id so stragglers
+    are visible as individual bars instead of being hidden in the max.
     """
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": 1,
@@ -220,11 +332,14 @@ def chrome_trace(telemetry: Telemetry, trace: Trace | None = None) -> dict:
     ]
     for child in telemetry.root.children:
         _span_events(child, 0, events)
-    if trace is not None:
+    lanes = _dpu_lane_events(telemetry)
+    if trace is not None or lanes:
         events.append(
             {"name": "process_name", "ph": "M", "pid": 2,
              "args": {"name": "simulated PIM timeline"}}
         )
+    events.extend(lanes)
+    if trace is not None:
         cursor = 0.0
         for event in trace.events:
             events.append(
@@ -254,12 +369,19 @@ def write_chrome_trace(path: str, telemetry: Telemetry, trace: Trace | None = No
 
 
 # -------------------------------------------------------------------- profile
-def render_profile(telemetry: Telemetry) -> str:
+def render_profile(telemetry: Telemetry, imbalance: Any = None, top_k: int = 5) -> str:
     """Sorted self-time table over the span tree (``--profile`` output).
 
     Aggregates by span path (a path opened N times contributes one row with
     ``calls=N``), sorts by simulated self-time descending with wall-clock
     self-time as the tiebreaker, and prints both clocks in milliseconds.
+
+    With an ``imbalance`` ledger (an
+    :class:`~repro.observability.imbalance.ImbalanceLedger`), appends a
+    per-DPU straggler section: the ``top_k`` cores by simulated self time
+    (kernel compute + sample insert), each attributed to its color triplet
+    and heaviest sampled node — the span table tells you *which phase* is
+    slow, this section tells you *which core* and *why*.
     """
     rows: dict[str, list[float]] = {}
     order: list[str] = []
@@ -289,4 +411,26 @@ def render_profile(telemetry: Telemetry) -> str:
             f"{path:<40} {int(calls):>6} {sim * 1e3:>10.3f}ms {sim_self * 1e3:>10.3f}ms "
             f"{wall * 1e3:>10.3f}ms {wall_self * 1e3:>10.3f}ms"
         )
+    if imbalance is not None:
+        totals = imbalance.count_seconds + imbalance.insert_seconds
+        order = sorted(
+            range(int(totals.size)), key=lambda d: (-float(totals[d]), d)
+        )[: max(0, int(top_k))]
+        grand = float(totals.sum())
+        lines += [
+            "",
+            f"per-DPU stragglers (top {len(order)} by simulated self time):",
+            f"{'dpu':>5} {'triplet':<12} {'count':>12} {'insert':>12} "
+            f"{'share':>7} {'heavy node':>11}  remapped",
+        ]
+        for d in order:
+            triplet = "(" + ",".join(str(c) for c in imbalance.triplet_of(d)) + ")"
+            share = float(totals[d] / grand) if grand > 0 else 0.0
+            remapped = "yes" if bool(imbalance.heavy_node_remapped[d]) else "no"
+            lines.append(
+                f"{d:>5} {triplet:<12} "
+                f"{float(imbalance.count_seconds[d]) * 1e3:>10.3f}ms "
+                f"{float(imbalance.insert_seconds[d]) * 1e3:>10.3f}ms "
+                f"{share * 100:>6.1f}% {int(imbalance.heavy_nodes[d]):>11}  {remapped}"
+            )
     return "\n".join(lines)

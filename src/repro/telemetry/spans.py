@@ -140,6 +140,11 @@ class Telemetry:
         self._epoch = time.perf_counter()
         self.root = Span(name="", path="")
         self._stack: list[Span] = [self.root]
+        #: Optional live-event hook ``(kind, path, **fields)`` called on span
+        #: open (``kind="start"``) and close (``kind="end"``, with wall/sim
+        #: durations).  Fed by ``repro-count --log-json``'s NDJSON logger;
+        #: purely observational — it runs outside every simulated charge.
+        self.log_sink = None
 
     # ------------------------------------------------------------------ spans
     def current(self) -> Span:
@@ -169,6 +174,8 @@ class Telemetry:
         )
         self._stack[-1].children.append(span)
         self._stack.append(span)
+        if self.log_sink is not None:
+            self.log_sink("start", span.path)
         sim_start = clock.total() if clock is not None else 0.0
         wall_start = time.perf_counter()
         try:
@@ -178,6 +185,13 @@ class Telemetry:
             if clock is not None:
                 span.sim_seconds = clock.total() - sim_start
             self._stack.pop()
+            if self.log_sink is not None:
+                self.log_sink(
+                    "end",
+                    span.path,
+                    wall_seconds=span.wall_seconds,
+                    sim_seconds=span.sim_seconds,
+                )
 
     def attach_records(self, records: list[SpanRecord]) -> None:
         """Stitch worker-measured records in as children of the current span.

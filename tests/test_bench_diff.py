@@ -1,0 +1,212 @@
+"""tools/bench_diff.py — the benchmark regression gate."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+DIFF_PATH = Path(__file__).resolve().parent.parent / "tools" / "bench_diff.py"
+BASELINE_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+
+
+@pytest.fixture(scope="module")
+def bench_diff():
+    spec = importlib.util.spec_from_file_location("bench_diff", DIFF_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves the module's string annotations through
+    # sys.modules, so the module must be registered before exec.
+    sys.modules["bench_diff"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def telemetry_doc():
+    return {
+        "schema": "repro-bench-telemetry/1",
+        "tier": "tiny",
+        "seed": 0,
+        "colors": 4,
+        "runs": [
+            {
+                "graph": "orkut",
+                "count": 1000,
+                "phases": {
+                    "setup": 0.010,
+                    "sample_creation": 0.002,
+                    "triangle_count": 0.005,
+                },
+                "throughput_edges_per_ms": 2500.0,
+                "load_balance": 1.8,
+                "wall_seconds": 0.4,
+            },
+            {
+                "graph": "wikipedia",
+                "count": 2000,
+                "phases": {
+                    "setup": 0.012,
+                    "sample_creation": 0.003,
+                    "triangle_count": 0.009,
+                },
+                "throughput_edges_per_ms": 1800.0,
+                "load_balance": 2.1,
+                "wall_seconds": 0.9,
+            },
+        ],
+    }
+
+
+class TestDiffDocuments:
+    def test_identical_documents_pass(self, bench_diff, telemetry_doc):
+        summary = bench_diff.diff_documents(telemetry_doc, telemetry_doc)
+        assert summary["failed"] is False
+        assert summary["failures"] == []
+        assert all(e["verdict"] == "ok" for e in summary["entries"])
+
+    def test_twenty_percent_simulated_regression_fails(
+        self, bench_diff, telemetry_doc
+    ):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["phases"]["triangle_count"] *= 1.20
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is True
+        assert any("triangle_count" in f for f in summary["failures"])
+
+    def test_small_drift_within_threshold_passes(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["phases"]["triangle_count"] *= 1.03
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is False
+
+    def test_improvement_never_fails(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["phases"]["triangle_count"] *= 0.5
+        current["runs"][0]["throughput_edges_per_ms"] *= 2.0
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is False
+        assert any(e["verdict"] == "improved" for e in summary["entries"])
+
+    def test_count_change_fails_regardless_of_threshold(
+        self, bench_diff, telemetry_doc
+    ):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["count"] += 1
+        summary = bench_diff.diff_documents(
+            telemetry_doc, current, threshold=10.0
+        )
+        assert summary["failed"] is True
+
+    def test_throughput_drop_fails(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][1]["throughput_edges_per_ms"] *= 0.7
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is True
+
+    def test_wall_clock_regression_only_warns(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["wall_seconds"] *= 3.0
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is False
+        assert any("wall_seconds" in w for w in summary["warnings"])
+
+    def test_missing_graph_is_a_coverage_regression(
+        self, bench_diff, telemetry_doc
+    ):
+        current = copy.deepcopy(telemetry_doc)
+        del current["runs"][1]
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is True
+        assert any("wikipedia" in f for f in summary["failures"])
+
+    def test_new_graph_only_warns(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        extra = copy.deepcopy(current["runs"][0])
+        extra["graph"] = "kron"
+        current["runs"].append(extra)
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is False
+        assert any("kron" in w for w in summary["warnings"])
+
+    def test_schema_mismatch_fails(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["schema"] = "repro-bench-ingest/1"
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        assert summary["failed"] is True
+
+    def test_unknown_schema_fails(self, bench_diff):
+        doc = {"schema": "no-such-schema/9", "runs": []}
+        summary = bench_diff.diff_documents(doc, doc)
+        assert summary["failed"] is True
+
+    def test_imbalance_schema_gates_skew_ratios(self, bench_diff):
+        doc = {
+            "schema": "repro-bench-imbalance/1",
+            "runs": [
+                {
+                    "graph": "orkut",
+                    "count": 42,
+                    "baseline": {
+                        "count_seconds": {"max": 0.004, "max_over_mean": 2.0},
+                        "merge_steps": {"max_over_mean": 2.5},
+                    },
+                    "misra_gries": {
+                        "count_seconds": {"max": 0.003, "max_over_mean": 1.4},
+                    },
+                    "skew_improvement_max_over_mean": 1.43,
+                }
+            ],
+        }
+        current = copy.deepcopy(doc)
+        current["runs"][0]["misra_gries"]["count_seconds"]["max_over_mean"] = 1.8
+        summary = bench_diff.diff_documents(doc, current)
+        assert summary["failed"] is True
+        assert bench_diff.diff_documents(doc, doc)["failed"] is False
+
+
+class TestCli:
+    def test_exit_codes_and_summary_artifact(
+        self, bench_diff, telemetry_doc, tmp_path
+    ):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(telemetry_doc))
+        regressed = copy.deepcopy(telemetry_doc)
+        for run in regressed["runs"]:
+            run["phases"]["triangle_count"] *= 1.20
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(regressed))
+        out = tmp_path / "summary.json"
+
+        assert bench_diff.main([str(base), str(base)]) == 0
+        assert bench_diff.main([str(base), str(cur), "--out", str(out)]) == 1
+        summary = json.loads(out.read_text())
+        assert summary["schema"] == "repro-bench-diff/1"
+        assert summary["failed"] is True
+        # a loose threshold lets the same regression through
+        assert bench_diff.main([str(base), str(cur), "--threshold", "0.5"]) == 0
+
+    def test_render_summary_mentions_regressions(self, bench_diff, telemetry_doc):
+        current = copy.deepcopy(telemetry_doc)
+        current["runs"][0]["phases"]["setup"] *= 2.0
+        summary = bench_diff.diff_documents(telemetry_doc, current)
+        text = bench_diff.render_summary(summary)
+        assert "REGRESSION" in text
+        assert "hard failures" in text
+
+
+class TestCommittedBaselines:
+    """The baselines shipped in-repo must be self-consistent with the gate."""
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_telemetry.json", "BENCH_ingest.json", "BENCH_imbalance.json"]
+    )
+    def test_baseline_diffs_clean_against_itself(self, bench_diff, name):
+        path = BASELINE_DIR / name
+        doc = json.loads(path.read_text())
+        summary = bench_diff.diff_documents(doc, doc)
+        assert summary["failed"] is False
+        assert summary["entries"], f"{name}: gate compared no metrics"

@@ -60,6 +60,36 @@ def test_ingest_sweep_parity_and_bounds(bench_report):
         assert run["overlap_saved_seconds"] >= 0.0
 
 
+def test_imbalance_sweep_compares_remap(bench_report):
+    document = bench_report.run_imbalance_sweep("tiny", seed=0, num_colors=3)
+    assert document["schema"] == bench_report.IMBALANCE_SCHEMA
+    assert document["runs"]
+    for run in document["runs"]:
+        assert run["counts_match"], run["graph"]
+        for side in ("baseline", "misra_gries"):
+            skew = run[side]["count_seconds"]
+            assert skew["max_over_mean"] >= 1.0
+            assert skew["max"] >= skew["mean"]
+        top = run["baseline"]["top_straggler"]
+        assert top is not None and len(top["triplet"]) == 3
+        assert run["skew_improvement_max_over_mean"] > 0
+
+
+def test_main_writes_imbalance_artifact(bench_report, tmp_path, capsys):
+    out = tmp_path / "BENCH_telemetry.json"
+    imbalance_out = tmp_path / "BENCH_imbalance.json"
+    code = bench_report.main(
+        ["--tier", "tiny", "--colors", "3", "--out", str(out),
+         "--imbalance-out", str(imbalance_out), "--misra-gries", "128:8"]
+    )
+    assert code == 0
+    assert "skew comparisons" in capsys.readouterr().out
+    document = json.loads(imbalance_out.read_text())
+    assert document["schema"] == "repro-bench-imbalance/1"
+    assert all(r["counts_match"] for r in document["runs"])
+    assert all(r["misra_gries_k"] == 128 for r in document["runs"])
+
+
 def test_main_writes_ingest_artifact(bench_report, tmp_path, capsys):
     out = tmp_path / "BENCH_telemetry.json"
     ingest_out = tmp_path / "BENCH_ingest.json"
