@@ -37,7 +37,7 @@ import time
 
 BENCH_SCHEMA = "repro-bench-telemetry/1"
 INGEST_SCHEMA = "repro-bench-ingest/1"
-IMBALANCE_SCHEMA = "repro-bench-imbalance/1"
+IMBALANCE_SCHEMA = "repro-bench-imbalance/2"
 
 
 def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
@@ -143,14 +143,17 @@ def run_imbalance_sweep(
     num_colors: int | None = None,
     mg: tuple[int, int] = (256, 16),
 ) -> dict:
-    """Per-DPU skew comparison, no-remap vs Misra-Gries -> ``BENCH_imbalance.json``.
+    """Per-DPU skew comparison across balancing strategies -> ``BENCH_imbalance.json``.
 
-    One record per graph: the baseline run's skew statistics (count-phase
-    seconds and merge steps, the dimensions the paper's straggler story is
-    about), its top straggler attributed to a color triplet and heavy node,
-    then the same run with Misra-Gries remapping enabled, and the resulting
-    max/mean improvement factor.  Counts must agree — remapping is a node-ID
-    bijection and never changes the answer.
+    One record per graph: the baseline (hash-coloring) run's skew statistics
+    (count-phase seconds and merge steps, the dimensions the paper's
+    straggler story is about), its top straggler attributed to a color
+    triplet and heavy node, then the same run with Misra-Gries remapping
+    enabled, then the same run with the degree-aware partitioner
+    (``partitioner="degree"``), and the resulting max/mean improvement
+    factors.  Counts must agree on every side — remapping is a node-ID
+    bijection and any partition-coloring is exact under the monochromatic
+    correction, so neither ever changes the answer.
     """
     from repro.core.api import PimTriangleCounter
     from repro.experiments.common import DEFAULT_COLORS, paper_graph_order_by_max_degree
@@ -167,6 +170,9 @@ def run_imbalance_sweep(
         remapped = PimTriangleCounter(
             num_colors=colors, seed=seed, misra_gries_k=mg_k, misra_gries_t=mg_t
         ).count(graph)
+        degreed = PimTriangleCounter(
+            num_colors=colors, seed=seed, partitioner="degree"
+        ).count(graph)
 
         def _side(result):
             ledger = result.imbalance
@@ -181,6 +187,7 @@ def run_imbalance_sweep(
 
         base_ratio = base.imbalance.skew("count_seconds").max_over_mean
         mg_ratio = remapped.imbalance.skew("count_seconds").max_over_mean
+        degree_ratio = degreed.imbalance.skew("count_seconds").max_over_mean
         runs.append(
             {
                 "graph": name,
@@ -188,12 +195,17 @@ def run_imbalance_sweep(
                 "max_degree": int(max_degree),
                 "count": base.count,
                 "counts_match": remapped.count == base.count,
+                "counts_match_degree": degreed.count == base.count,
                 "misra_gries_k": mg_k,
                 "misra_gries_t": mg_t,
                 "baseline": _side(base),
                 "misra_gries": _side(remapped),
+                "degree": _side(degreed),
                 "skew_improvement_max_over_mean": (
                     base_ratio / mg_ratio if mg_ratio else 1.0
+                ),
+                "skew_improvement_degree": (
+                    base_ratio / degree_ratio if degree_ratio else 1.0
                 ),
             }
         )
@@ -223,8 +235,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: |E| / 4 per graph)")
     parser.add_argument("--imbalance-out", default=None, metavar="PATH",
                         help="also write the per-DPU skew comparison "
-                             "(baseline vs Misra-Gries remap) artifact "
-                             "(BENCH_imbalance.json)")
+                             "(baseline vs Misra-Gries remap vs degree "
+                             "partitioner) artifact (BENCH_imbalance.json)")
     parser.add_argument("--misra-gries", default="256:16", metavar="K:t",
                         help="summary size and remap count for the "
                              "--imbalance-out remapped runs (default 256:16)")
@@ -260,9 +272,14 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.imbalance_out, "w") as fh:
             json.dump(imbalance, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        mismatches = [r["graph"] for r in imbalance["runs"] if not r["counts_match"]]
+        mismatches = [
+            r["graph"]
+            for r in imbalance["runs"]
+            if not (r["counts_match"] and r["counts_match_degree"])
+        ]
         improvements = [
-            f"{r['graph']} x{r['skew_improvement_max_over_mean']:.2f}"
+            f"{r['graph']} MG x{r['skew_improvement_max_over_mean']:.2f} "
+            f"deg x{r['skew_improvement_degree']:.3f}"
             for r in imbalance["runs"]
         ]
         print(

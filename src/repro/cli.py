@@ -92,6 +92,22 @@ def _build_parser() -> argparse.ArgumentParser:
                              "B-edge chunks (bounded memory, double-buffered "
                              "overlap with DPU inserts); default: monolithic "
                              "single pass (or $REPRO_BATCH_EDGES)")
+    parser.add_argument("--partitioner", default=None,
+                        choices=("hash", "degree", "auto"),
+                        help="edge-partitioning strategy: 'hash' (universal "
+                             "hash coloring, the paper's), 'degree' "
+                             "(degree-based hub placement), or 'auto' (pick "
+                             "strategy, C and Misra-Gries from graph stats; "
+                             "see docs/partitioning.md); counts are identical "
+                             "across strategies "
+                             "(default: $REPRO_PARTITIONER or hash)")
+    parser.add_argument("--rebalance-cv", type=float, default=None, metavar="CV",
+                        help="with --batch-edges: recompute the triplet->core "
+                             "assignment between chunks whenever the cv of "
+                             "accumulated per-core insert seconds exceeds CV "
+                             "(resident samples migrate, charged as a "
+                             "scatter); default: disabled "
+                             "(or $REPRO_REBALANCE_CV)")
     parser.add_argument("--local", action="store_true",
                         help="also compute per-node (local) triangle counts")
     parser.add_argument("--top", type=int, default=5,
@@ -200,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
             misra_gries_t=mg_t,
             seed=args.seed + trial,
             batch_edges=args.batch_edges,
+            partitioner=args.partitioner,
+            rebalance_cv=args.rebalance_cv,
             executor=args.executor,
             jobs=args.jobs,
             telemetry=telemetry,
@@ -229,6 +247,19 @@ def main(argv: list[str] | None = None) -> int:
         f"count {fmt_time(result.triangle_count_seconds)}"
     )
     print(f"throughput: {result.throughput_edges_per_ms():,.0f} edges/ms (excl. setup)")
+    if result.meta.get("autotune"):
+        auto = result.meta["autotune"]
+        print(
+            f"auto-tune: strategy={auto['strategy']} C={auto['num_colors']} "
+            f"MG=({auto['misra_gries_k']},{auto['misra_gries_t']}) "
+            f"(degree skew {auto['degree_skew']:.1f})"
+        )
+    if result.meta.get("rebalances"):
+        events = result.meta["rebalances"]
+        print(
+            f"rebalances: {len(events)} "
+            f"(moved {sum(e['moved_triplets'] for e in events)} triplet samples)"
+        )
     if args.local:
         print(f"top {args.top} nodes by triangle participation:")
         for node, value in result.top_nodes(args.top):

@@ -1,6 +1,13 @@
 """Vertex-coloring edge partition: triplet algebra + vectorized edge routing."""
 
-from .partition import ColoringPartitioner, EdgePartition
+from .autotune import AutoTuneDecision, auto_tune
+from .partition import (
+    PARTITIONER_STRATEGIES,
+    ColoringPartitioner,
+    DegreePartitioner,
+    EdgePartition,
+    make_partitioner,
+)
 from .triplets import TripletTable, colors_for_dpus, num_triplets
 
 __all__ = [
@@ -8,5 +15,10 @@ __all__ = [
     "num_triplets",
     "colors_for_dpus",
     "ColoringPartitioner",
+    "DegreePartitioner",
     "EdgePartition",
+    "PARTITIONER_STRATEGIES",
+    "make_partitioner",
+    "AutoTuneDecision",
+    "auto_tune",
 ]

@@ -1,0 +1,226 @@
+"""Auto-tuning of the partitioning knobs from graph statistics.
+
+The ``--partitioner auto`` strategy picks, per graph, the three knobs a user
+would otherwise hand-tune:
+
+* the **partitioning strategy** — hash coloring for near-uniform degree
+  distributions, degree-based coloring once the degree skew (max/avg degree)
+  crosses :data:`SKEW_DEGREE_THRESHOLD`;
+* the **color count C** — large enough that the expected heaviest per-core
+  load stays under :data:`TARGET_EDGES_PER_DPU`, clamped to what the PIM
+  system's core count admits (``binom(C+2, 3) <= total_dpus``);
+* the **Misra-Gries parameters** — enable the K/t hub remap (paper Sec. 4.5)
+  only on hub-heavy graphs, where it pays for its host pass.
+
+Every rule that fires is recorded in a decision *trace* so a run report can
+explain why the tuner chose what it chose (see ``docs/partitioning.md``).
+The tuner is deterministic: same graph stats + same options in, same decision
+out — required for the differential grid to pin auto runs across executors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..graph.coo import COOGraph
+from ..graph.stats import degree_stats
+from .triplets import colors_for_dpus, num_triplets
+
+__all__ = [
+    "AutoTuneDecision",
+    "auto_tune",
+    "SKEW_DEGREE_THRESHOLD",
+    "MG_SKEW_THRESHOLD",
+    "TARGET_EDGES_PER_DPU",
+    "DEFAULT_MG_K",
+    "DEFAULT_MG_T",
+]
+
+#: max_degree / avg_degree above which degree-based coloring is selected.
+SKEW_DEGREE_THRESHOLD = 8.0
+#: Skew above which the Misra-Gries hub remap is also enabled.
+MG_SKEW_THRESHOLD = 16.0
+#: Color count is grown until the expected heaviest core holds at most this
+#: many edges (or the system runs out of cores).
+TARGET_EDGES_PER_DPU = 4096
+#: Misra-Gries table size / remap count used when the tuner enables the remap.
+DEFAULT_MG_K = 256
+DEFAULT_MG_T = 16
+
+
+@dataclass(frozen=True)
+class AutoTuneDecision:
+    """What the tuner picked, and the rule-by-rule trace of why."""
+
+    strategy: str
+    num_colors: int
+    misra_gries_k: int | None
+    misra_gries_t: int | None
+    num_edges: int
+    max_degree: int
+    avg_degree: float
+    degree_skew: float
+    expected_max_edges_per_dpu: float
+    trace: tuple[dict, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "num_colors": self.num_colors,
+            "misra_gries_k": self.misra_gries_k,
+            "misra_gries_t": self.misra_gries_t,
+            "num_edges": self.num_edges,
+            "max_degree": self.max_degree,
+            "avg_degree": self.avg_degree,
+            "degree_skew": self.degree_skew,
+            "expected_max_edges_per_dpu": self.expected_max_edges_per_dpu,
+            "trace": [dict(step) for step in self.trace],
+        }
+
+
+def _pick_colors(num_edges: int, max_dpus: int, trace: list[dict]) -> int:
+    """Smallest C with expected heaviest load <= TARGET_EDGES_PER_DPU.
+
+    Uses the uniform closed form ``6|E| / C**2`` (paper Sec. 4.5) as the
+    sizing estimate; the strategy-specific load estimate is reported in the
+    decision afterwards via ``expected_max_edges_per_dpu`` dispatch.
+    """
+    c_max = colors_for_dpus(max_dpus)
+    if num_edges <= 0:
+        trace.append({"rule": "colors", "why": "empty graph", "num_colors": 2})
+        return min(2, c_max) if c_max >= 2 else c_max
+    ideal = math.ceil(math.sqrt(6.0 * num_edges / TARGET_EDGES_PER_DPU))
+    c = max(2, min(ideal, c_max))
+    trace.append(
+        {
+            "rule": "colors",
+            "why": (
+                f"smallest C with 6|E|/C^2 <= {TARGET_EDGES_PER_DPU} "
+                f"is {ideal}, clamped to [2, {c_max}] by the core budget "
+                f"(binom(C+2,3) <= {max_dpus})"
+            ),
+            "ideal": ideal,
+            "c_max": c_max,
+            "num_colors": c,
+            "dpus_used": num_triplets(c),
+        }
+    )
+    return c
+
+
+def auto_tune(
+    graph: COOGraph,
+    *,
+    max_dpus: int,
+    misra_gries_k: int | None = None,
+    misra_gries_t: int | None = None,
+) -> AutoTuneDecision:
+    """Resolve the "auto" strategy for ``graph``.
+
+    ``misra_gries_k/t`` are the *user-requested* values: when the user set
+    them explicitly they are respected verbatim (the tuner only fills the
+    gap when both are None).
+    """
+    g = graph if graph.is_canonical() else graph.canonicalize()
+    max_degree, avg_degree = degree_stats(g)
+    skew = max_degree / avg_degree if avg_degree > 0 else 0.0
+    trace: list[dict] = []
+
+    if skew >= SKEW_DEGREE_THRESHOLD:
+        strategy = "degree"
+        trace.append(
+            {
+                "rule": "strategy",
+                "why": (
+                    f"degree skew {skew:.1f} >= {SKEW_DEGREE_THRESHOLD:g}: "
+                    "hub-heavy graph, hash coloring would leave hot cores"
+                ),
+                "strategy": strategy,
+            }
+        )
+    else:
+        strategy = "hash"
+        trace.append(
+            {
+                "rule": "strategy",
+                "why": (
+                    f"degree skew {skew:.1f} < {SKEW_DEGREE_THRESHOLD:g}: "
+                    "near-uniform degrees, universal hash already balances"
+                ),
+                "strategy": strategy,
+            }
+        )
+
+    num_colors = _pick_colors(g.num_edges, max_dpus, trace)
+
+    mg_k, mg_t = misra_gries_k, misra_gries_t
+    if mg_k is not None or mg_t is not None:
+        trace.append(
+            {
+                "rule": "misra_gries",
+                "why": "user-set Misra-Gries parameters respected verbatim",
+                "misra_gries_k": mg_k,
+                "misra_gries_t": mg_t,
+            }
+        )
+    elif skew >= MG_SKEW_THRESHOLD:
+        mg_k, mg_t = DEFAULT_MG_K, DEFAULT_MG_T
+        trace.append(
+            {
+                "rule": "misra_gries",
+                "why": (
+                    f"degree skew {skew:.1f} >= {MG_SKEW_THRESHOLD:g}: "
+                    "hub remap pays for its host pass"
+                ),
+                "misra_gries_k": mg_k,
+                "misra_gries_t": mg_t,
+            }
+        )
+    else:
+        trace.append(
+            {
+                "rule": "misra_gries",
+                "why": (
+                    f"degree skew {skew:.1f} < {MG_SKEW_THRESHOLD:g}: "
+                    "remap host pass not worth it"
+                ),
+                "misra_gries_k": None,
+                "misra_gries_t": None,
+            }
+        )
+
+    # Strategy-aware load estimate (satellite fix: never reason from the
+    # uniform formula on a degree-partitioned graph).  A throwaway fitted
+    # partitioner provides the dispatch; its hash draw does not leak into the
+    # pipeline, which draws its own from the run's RNG streams.
+    if strategy == "degree" and g.num_edges > 0:
+        import numpy as np
+
+        from .partition import DegreePartitioner
+
+        probe = DegreePartitioner(num_colors, np.random.default_rng(0))
+        probe.fit(g)
+        expected = probe.expected_max_edges_per_dpu(g.num_edges)
+    else:
+        expected = 6.0 * g.num_edges / (num_colors**2)
+    trace.append(
+        {
+            "rule": "expected_load",
+            "why": f"strategy-aware estimate for {strategy} coloring",
+            "expected_max_edges_per_dpu": expected,
+        }
+    )
+
+    return AutoTuneDecision(
+        strategy=strategy,
+        num_colors=num_colors,
+        misra_gries_k=mg_k,
+        misra_gries_t=mg_t,
+        num_edges=g.num_edges,
+        max_degree=max_degree,
+        avg_degree=avg_degree,
+        degree_skew=skew,
+        expected_max_edges_per_dpu=expected,
+        trace=tuple(trace),
+    )

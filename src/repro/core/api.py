@@ -54,6 +54,8 @@ class PimTriangleCounter:
         misra_gries_t: int = 0,
         seed: int = 0,
         batch_edges: int | None = None,
+        partitioner: str | None = None,
+        rebalance_cv: float | None = None,
         executor: str | None = None,
         jobs: int | None = None,
         system_config: PimSystemConfig | None = None,
@@ -66,6 +68,13 @@ class PimTriangleCounter:
         if batch_edges is None:
             env_batch = os.environ.get("REPRO_BATCH_EDGES")
             batch_edges = int(env_batch) if env_batch else None
+        # Partitioning strategy ("hash" / "degree" / "auto") and the
+        # between-batch rebalance trigger follow the same env-var pattern.
+        if partitioner is None:
+            partitioner = os.environ.get("REPRO_PARTITIONER") or "hash"
+        if rebalance_cv is None:
+            env_cv = os.environ.get("REPRO_REBALANCE_CV")
+            rebalance_cv = float(env_cv) if env_cv else None
         if options is None:
             options = PimTcOptions(
                 num_colors=num_colors,
@@ -75,6 +84,8 @@ class PimTriangleCounter:
                 misra_gries_t=misra_gries_t,
                 seed=seed,
                 batch_edges=batch_edges,
+                partitioner=partitioner,
+                rebalance_cv=rebalance_cv,
             )
         self.options = options
         config = system_config or PimSystemConfig()

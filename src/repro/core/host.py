@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..coloring.partition import ColoringPartitioner, EdgePartition
+from ..coloring.partition import (
+    PARTITIONER_STRATEGIES,
+    ColoringPartitioner,
+    DegreePartitioner,
+    EdgePartition,
+    make_partitioner,
+)
 from ..common.errors import ConfigurationError
 from ..common.rng import RngFactory
 from ..graph.coo import COOGraph
@@ -128,9 +134,15 @@ class _PreparedRun:
     #: Peak bytes of routed edge buffers resident on the host at once.
     peak_routed_bytes: int = 0
     #: Per-DPU simulated seconds of sample insertion (imbalance ledger input).
+    #: Indexed by *physical core* (== triplet when no rebalance happened).
     insert_seconds: np.ndarray | None = None
     #: Misra-Gries remap table broadcast to the cores (None when disabled).
     remap_nodes: np.ndarray | None = None
+    #: Triplet -> physical core map after between-batch rebalancing;
+    #: ``None`` means the identity (monolithic path, or no rebalance fired).
+    dpu_of_triplet: np.ndarray | None = None
+    #: One record per rebalance event (batch index, trigger cv, moved work).
+    rebalances: list = field(default_factory=list)
 
     def reservoir_scales(self) -> np.ndarray:
         return np.array(
@@ -176,10 +188,28 @@ class PimTcOptions:
     #: ``O(batch_edges * C)`` and overlapping host routing of chunk ``k+1``
     #: with DPU insertion of chunk ``k`` (double buffering).
     batch_edges: int | None = None
+    #: Partitioning strategy: "hash" (universal hash coloring, the paper's),
+    #: "degree" (degree-based hub placement, Kolountzakis et al.), or "auto"
+    #: (pick strategy / C / Misra-Gries from graph stats, with a decision
+    #: trace in the result meta).  Counts are identical across strategies.
+    partitioner: str = "hash"
+    #: Between-batch rebalance trigger for the chunked ingest path: when the
+    #: coefficient of variation of accumulated per-core insert seconds
+    #: exceeds this value, the triplet->core assignment is recomputed for
+    #: subsequent chunks (resident samples migrate, charged as a scatter).
+    #: ``None`` disables rebalancing.
+    rebalance_cv: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_colors < 1:
             raise ConfigurationError("num_colors must be >= 1")
+        if self.partitioner not in PARTITIONER_STRATEGIES:
+            raise ConfigurationError(
+                f"partitioner must be one of {PARTITIONER_STRATEGIES}, "
+                f"got {self.partitioner!r}"
+            )
+        if self.rebalance_cv is not None and self.rebalance_cv < 0:
+            raise ConfigurationError("rebalance_cv must be >= 0 or None")
         if self.kernel_variant not in ("merge", "probe"):
             raise ConfigurationError(
                 f"kernel_variant must be 'merge' or 'probe', got {self.kernel_variant!r}"
@@ -222,12 +252,54 @@ class PimTcPipeline:
             )
 
     # ------------------------------------------------------------------ helpers
+    @property
+    def active_options(self) -> PimTcOptions:
+        """Options in effect for the current run ("auto" already resolved)."""
+        resolved = getattr(self, "_effective_options", None)
+        return resolved if resolved is not None else self.options
+
+    @property
+    def autotune_decision(self):
+        """The :class:`AutoTuneDecision` of the current run, or None."""
+        return getattr(self, "_autotune", None)
+
+    def _resolve_options(self, graph: COOGraph) -> None:
+        """Resolve the "auto" strategy against ``graph`` before a run.
+
+        Stores the per-run effective options (strategy, C, Misra-Gries) and
+        the tuner's decision trace; a pipeline reused across graphs resolves
+        afresh per run.  Non-auto strategies pass through unchanged, so hash
+        runs stay bit-identical to pipelines predating this knob.
+        """
+        from dataclasses import replace
+
+        opts = self.options
+        self._autotune = None
+        if opts.partitioner == "auto":
+            from ..coloring.autotune import auto_tune
+
+            decision = auto_tune(
+                graph,
+                max_dpus=self.system.config.total_dpus,
+                misra_gries_k=opts.misra_gries_k or None,
+                misra_gries_t=opts.misra_gries_t or None,
+            )
+            self._autotune = decision
+            opts = replace(
+                opts,
+                partitioner=decision.strategy,
+                num_colors=decision.num_colors,
+                misra_gries_k=decision.misra_gries_k or 0,
+                misra_gries_t=decision.misra_gries_t or 0,
+            )
+        self._effective_options = opts
+
     def _host_seconds(self, cycles_per_item: float, items: int) -> float:
         cost = self.system.config.cost
         return cycles_per_item * items / (cost.host_clock_hz * cost.host_threads)
 
     def _reservoir_capacity(self) -> int:
-        opts = self.options
+        opts = self.active_options
         if opts.reservoir_capacity is not None:
             if opts.reservoir_capacity < 1:
                 raise ConfigurationError("reservoir_capacity must be >= 1")
@@ -239,15 +311,17 @@ class PimTcPipeline:
     # --------------------------------------------------------------------- run
     def run(self, graph: COOGraph) -> TcResult:
         """Execute the full pipeline on ``graph`` and return the result."""
-        if self.options.kernel_variant == "probe":
+        self._resolve_options(graph)
+        opts = self.active_options
+        if opts.kernel_variant == "probe":
             from .kernel_tc_probe import ProbeTriangleCountKernel
 
             kernel = ProbeTriangleCountKernel(
-                num_nodes=graph.num_nodes, costs=self.options.kernel_costs
+                num_nodes=graph.num_nodes, costs=opts.kernel_costs
             )
         else:
             kernel = TriangleCountKernel(
-                num_nodes=graph.num_nodes, costs=self.options.kernel_costs
+                num_nodes=graph.num_nodes, costs=opts.kernel_costs
             )
         prep = self._prepare(graph, kernel)
         return self._finish_global(graph, prep)
@@ -256,10 +330,19 @@ class PimTcPipeline:
         self, graph: COOGraph, kernel, clock: SimClock, rngs: RngFactory
     ) -> tuple[ColoringPartitioner, DpuSet]:
         """Setup phase shared by the monolithic and batched ingest paths."""
-        opts = self.options
+        opts = self.active_options
         cost = self.system.config.cost
         with self.telemetry.span("setup", clock=clock):
-            partitioner = ColoringPartitioner(opts.num_colors, rngs.stream("coloring"))
+            partitioner = make_partitioner(
+                opts.partitioner, opts.num_colors, rngs.stream("coloring")
+            )
+            if isinstance(partitioner, DegreePartitioner):
+                # Degree-based coloring needs a host pass over the edge list
+                # (degree count + greedy hub placement) before routing starts.
+                partitioner.fit(graph)
+                clock.advance(
+                    "setup", self._host_seconds(2.0, graph.num_edges)
+                )
             dpus = self.system.allocate(
                 partitioner.num_dpus, clock, telemetry=self.telemetry
             )
@@ -274,9 +357,9 @@ class PimTcPipeline:
 
     def _prepare(self, graph: COOGraph, kernel) -> "_PreparedRun":
         """Setup + sample-creation phases, shared by global and local counting."""
-        if self.options.batch_edges is not None:
+        if self.active_options.batch_edges is not None:
             return self._prepare_batched(graph, kernel)
-        opts = self.options
+        opts = self.active_options
         cost = self.system.config.cost
         rngs = RngFactory(opts.seed)
         wall_start = time.perf_counter()
@@ -429,7 +512,7 @@ class PimTcPipeline:
         flush rounds — but returns the cost instead of advancing the clock, so
         the batched path can fold it into the overlapped device time.
         """
-        opts = self.options
+        opts = self.active_options
         if opts.transfer_batch_edges is None:
             stats = dpus.transfer.scatter(counts * edge_bytes)
             return stats.seconds, stats.payload_bytes, 1
@@ -469,7 +552,7 @@ class PimTcPipeline:
         spans are not emitted per chunk; the per-batch spans carry the
         timing attributes instead.)
         """
-        opts = self.options
+        opts = self.active_options
         cost = self.system.config.cost
         rngs = RngFactory(opts.seed)
         wall_start = time.perf_counter()
@@ -492,15 +575,24 @@ class PimTcPipeline:
         edges_kept = 0
         peak_routed_bytes = 0
         window_bytes = 0  # routed bytes of the still-inserting previous chunk
-        pending: tuple | None = None  # (k, h_k, xfer_seconds, xfer_bytes, join)
+        # Triplet -> physical core map; rebalancing permutes it between chunks.
+        dpu_of_triplet = np.arange(num_dpus, dtype=np.int64)
+        rebalanced = False
+        rebalances: list[dict] = []
+        pending: tuple | None = None  # (k, h_k, xfer_s, xfer_b, join, perm, targets)
 
         def drain(entry: tuple) -> None:
             """Join one in-flight chunk and advance the overlapped clock."""
-            k, h_k, xfer_seconds, xfer_bytes, join = entry
+            k, h_k, xfer_seconds, xfer_bytes, join, perm, targets = entry
             results = join()
-            for d, (res, _n_in, secs) in enumerate(results):
-                reservoirs[d] = res
-                insert_secs[d] += secs
+            for t, (res, _n_in, secs) in enumerate(results):
+                reservoirs[t] = res
+                insert_secs[perm[t]] += secs
+            # The process engine splices post-run DPU state into the list it
+            # was handed; that list is our triplet-ordered view, so propagate
+            # the (possibly replaced) objects back to their physical slots.
+            for t, core in enumerate(perm.tolist()):
+                dpus.dpus[core] = targets[t]
             compute = max((secs for _, _, secs in results), default=0.0)
             d_k = xfer_seconds + cost.launch_latency + compute
             delta = schedule.step(h_k, d_k)
@@ -542,25 +634,44 @@ class PimTcPipeline:
                 routed_counts += part.counts
                 chunk_bytes = int(part.counts.sum()) * edge_bytes
                 h_k += chunk_bytes / cost.host_memcpy_bandwidth
-                xfer_seconds, xfer_bytes, _rounds = self._scatter_seconds(
-                    dpus, part.counts, edge_bytes
-                )
-                dpus.note_dpu_xfer(part.counts * edge_bytes)
                 # Double buffering keeps at most two chunks' routed buffers
                 # resident: the one still inserting plus the one just routed.
                 peak_routed_bytes = max(peak_routed_bytes, window_bytes + chunk_bytes)
                 window_bytes = chunk_bytes
                 if pending is not None:
                     drain(pending)
+                    pending = None
+                    if opts.rebalance_cv is not None:
+                        moved = self._maybe_rebalance(
+                            dpus, clock, dpu_of_triplet, insert_secs,
+                            routed_counts, reservoirs, capacity, edge_bytes,
+                            k - 1, rebalances,
+                        )
+                        if moved is not None:
+                            dpu_of_triplet = moved
+                            rebalanced = True
+                # The transfer cost is evaluated under the *current* core map:
+                # rank padding depends on which physical core each triplet's
+                # bytes land on (identity map -> identical to the pre-map
+                # ordering, so hash baselines stay bit-exact).
+                core_counts = np.zeros(num_dpus, dtype=np.int64)
+                core_counts[dpu_of_triplet] = part.counts
+                xfer_seconds, xfer_bytes, _rounds = self._scatter_seconds(
+                    dpus, core_counts, edge_bytes
+                )
+                dpus.note_dpu_xfer(core_counts * edge_bytes)
                 # Payloads are built only after the previous join so the
                 # process engine's returned reservoirs (fresh RNG state) are
                 # the ones offered the next chunk.
                 payloads = [
-                    (reservoirs[d], s_arr, d_arr, opts.kernel_costs)
-                    for d, (s_arr, d_arr) in enumerate(part.per_dpu)
+                    (reservoirs[t], s_arr, d_arr, opts.kernel_costs)
+                    for t, (s_arr, d_arr) in enumerate(part.per_dpu)
                 ]
-                join = dpus.executor.map_dpus_async(_ingest_chunk, dpus.dpus, payloads)
-                pending = (k, h_k, xfer_seconds, xfer_bytes, join)
+                targets = [dpus.dpus[int(c)] for c in dpu_of_triplet]
+                join = dpus.executor.map_dpus_async(_ingest_chunk, targets, payloads)
+                pending = (
+                    k, h_k, xfer_seconds, xfer_bytes, join, dpu_of_triplet, targets
+                )
             if pending is not None:
                 drain(pending)
 
@@ -583,7 +694,9 @@ class PimTcPipeline:
                     )
             # Materialize the final reservoir contents into each core's MRAM
             # region (the per-chunk tasks already charged the write work).
-            for dpu, res in zip(dpus.dpus, reservoirs):
+            # Reservoirs are triplet-ordered; route each to its physical core.
+            for t, res in enumerate(reservoirs):
+                dpu = dpus.dpus[int(dpu_of_triplet[t])]
                 keep_src, keep_dst = res.edges()
                 dpu.mram.store("sample_src", keep_src.astype(np.int32), count_write=False)
                 dpu.mram.store("sample_dst", keep_dst.astype(np.int32), count_write=False)
@@ -594,6 +707,15 @@ class PimTcPipeline:
             m.counter("host.ingest.batches", help="streaming ingest chunks processed").inc(
                 schedule.batches
             )
+            if rebalances:
+                m.counter(
+                    "host.rebalance.events",
+                    help="between-batch triplet->core rebalances",
+                ).inc(len(rebalances))
+                m.counter(
+                    "host.rebalance.moved_bytes",
+                    help="resident sample bytes migrated by rebalancing",
+                ).inc(sum(r["moved_bytes"] for r in rebalances))
             m.gauge(
                 "host.ingest.peak_routed_bytes",
                 help="peak bytes of routed edge buffers resident on the host",
@@ -623,16 +745,22 @@ class PimTcPipeline:
                 if remap_payload is not None and remap_payload.t > 0
                 else None
             ),
+            dpu_of_triplet=dpu_of_triplet if rebalanced else None,
+            rebalances=rebalances,
         )
 
     def _finish_global(self, graph: COOGraph, prep: "_PreparedRun") -> TcResult:
         """Triangle-count phase for the global counting kernel."""
-        opts = self.options
+        opts = self.active_options
         clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
         with self.telemetry.span("triangle_count", clock=clock):
             dpus.launch(phase="triangle_count")
             raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
             raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+            if prep.dpu_of_triplet is not None:
+                # Gathers are physical-core ordered; the correction math wants
+                # triplet order (scales, mono mask are triplet-indexed).
+                raw_counts = raw_counts[prep.dpu_of_triplet]
             scales = prep.reservoir_scales()
             mono = partitioner.mono_mask()
             with self.telemetry.span("correction", clock=clock):
@@ -664,24 +792,36 @@ class PimTcPipeline:
             uniform_p=prep.uniform_p,
             kernel=kernel_aggregate,
             host_wall_seconds=time.perf_counter() - prep.wall_start,
-            meta={
-                "reservoir_capacity": prep.capacity,
-                "edges_kept": prep.edges_kept,
-                "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
-                "ingest_batches": prep.ingest_batches,
-                "peak_routed_bytes": prep.peak_routed_bytes,
-            },
+            meta=self._run_meta(prep),
             trace=dpus.trace,
             telemetry=self.telemetry,
             imbalance=imbalance,
         )
+
+    def _run_meta(self, prep: "_PreparedRun") -> dict:
+        """Result meta shared by the global and local count paths."""
+        opts = self.active_options
+        meta = {
+            "reservoir_capacity": prep.capacity,
+            "edges_kept": prep.edges_kept,
+            "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
+            "ingest_batches": prep.ingest_batches,
+            "peak_routed_bytes": prep.peak_routed_bytes,
+            "partitioner": prep.partitioner.strategy,
+            "rebalances": list(prep.rebalances),
+        }
+        decision = self.autotune_decision
+        if decision is not None:
+            meta["autotune"] = decision.to_dict()
+        return meta
 
     def run_local(self, graph: COOGraph) -> "LocalTcResult":
         """Per-node (local) triangle counting — see :mod:`repro.core.local`."""
         from .local import LocalCountKernel
         from .result import LocalTcResult
 
-        opts = self.options
+        self._resolve_options(graph)
+        opts = self.active_options
         kernel = LocalCountKernel(num_nodes=graph.num_nodes, costs=opts.kernel_costs)
         prep = self._prepare(graph, kernel)
         clock, dpus, partitioner = prep.clock, prep.dpus, prep.partitioner
@@ -695,6 +835,9 @@ class PimTcPipeline:
             # cost and emits the identical trace events per symbol.
             raw_arrays = dpus.gather("triangle_count", phase="triangle_count")
             raw_counts = np.array([int(a[0]) for a in raw_arrays], dtype=np.int64)
+            if prep.dpu_of_triplet is not None:
+                raw_counts = raw_counts[prep.dpu_of_triplet]
+                local_arrays = [local_arrays[int(c)] for c in prep.dpu_of_triplet]
             scales = prep.reservoir_scales()
             mono = partitioner.mono_mask()
 
@@ -727,13 +870,7 @@ class PimTcPipeline:
             uniform_p=prep.uniform_p,
             kernel=kernel_aggregate,
             host_wall_seconds=time.perf_counter() - prep.wall_start,
-            meta={
-                "reservoir_capacity": prep.capacity,
-                "edges_kept": prep.edges_kept,
-                "misra_gries": (opts.misra_gries_k, opts.misra_gries_t),
-                "ingest_batches": prep.ingest_batches,
-                "peak_routed_bytes": prep.peak_routed_bytes,
-            },
+            meta=self._run_meta(prep),
             trace=dpus.trace,
             telemetry=self.telemetry,
             imbalance=imbalance,
@@ -741,6 +878,66 @@ class PimTcPipeline:
         )
 
     # ----------------------------------------------------------------- internals
+    def _maybe_rebalance(
+        self,
+        dpus: DpuSet,
+        clock: SimClock,
+        dpu_of_triplet: np.ndarray,
+        insert_secs: np.ndarray,
+        routed_counts: np.ndarray,
+        reservoirs: list[EdgeReservoir],
+        capacity: int,
+        edge_bytes: int,
+        batch_index: int,
+        rebalances: list[dict],
+    ) -> np.ndarray | None:
+        """Recompute the triplet->core map when accumulated skew warrants it.
+
+        Trigger: the coefficient of variation of accumulated per-core insert
+        seconds (the ledger's cv over the same metric it reports) exceeding
+        ``rebalance_cv``.  Remedy: greedily pair the heaviest-routed triplets
+        with the least-loaded cores.  Each triplet's partially built sample
+        migrates to its new core; the move is charged as a rank-padded
+        scatter of the resident bytes plus a trace event, so rebalanced runs
+        honestly pay for the shuffle.  Returns the new map, or None when the
+        trigger did not fire or the greedy map equals the current one.
+        """
+        from ..observability.imbalance import skew_stats
+
+        cv = skew_stats(insert_secs).cv
+        if cv <= self.active_options.rebalance_cv:
+            return None
+        num_dpus = dpu_of_triplet.size
+        ids = np.arange(num_dpus)
+        heavy_first = np.lexsort((ids, -routed_counts))
+        idle_first = np.lexsort((ids, insert_secs))
+        new_map = np.empty(num_dpus, dtype=np.int64)
+        new_map[heavy_first] = idle_first
+        moved = np.nonzero(new_map != dpu_of_triplet)[0]
+        if moved.size == 0:
+            return None
+        moved_bytes = np.zeros(num_dpus, dtype=np.int64)
+        for t in moved.tolist():
+            stored = min(int(reservoirs[t].seen), capacity)
+            moved_bytes[new_map[t]] += stored * edge_bytes
+        stats = dpus.transfer.scatter(moved_bytes)
+        clock.advance("sample_creation", stats.seconds)
+        dpus.trace.record(
+            "sample_creation", "scatter", stats.seconds, stats.payload_bytes,
+            f"rebalance after batch {batch_index}",
+        )
+        dpus.note_dpu_xfer(moved_bytes)
+        rebalances.append(
+            {
+                "after_batch": int(batch_index),
+                "cv": float(cv),
+                "moved_triplets": int(moved.size),
+                "moved_bytes": int(moved_bytes.sum()),
+                "seconds": float(stats.seconds),
+            }
+        )
+        return new_map
+
     def _harvest_imbalance(self, prep: "_PreparedRun"):
         """Collect the per-DPU work ledger after the count launch.
 
@@ -753,7 +950,7 @@ class PimTcPipeline:
         """
         from ..observability.imbalance import collect_ledger
 
-        return collect_ledger(
+        ledger = collect_ledger(
             prep.dpus,
             prep.partitioner.table,
             edges_routed=prep.routed_counts,
@@ -761,7 +958,12 @@ class PimTcPipeline:
             capacity=prep.capacity,
             insert_seconds=prep.insert_seconds,
             remap_nodes=prep.remap_nodes,
+            dpu_of_triplet=prep.dpu_of_triplet,
         )
+        if ledger is not None:
+            ledger.meta["partitioner"] = prep.partitioner.strategy
+            ledger.meta["rebalances"] = len(prep.rebalances)
+        return ledger
 
     def _record_sample_metrics(
         self,
@@ -835,13 +1037,13 @@ class PimTcPipeline:
         stream[0::2] = src
         stream[1::2] = dst
         for chunk in np.array_split(stream, self.system.config.cost.host_threads):
-            local = MisraGries(self.options.misra_gries_k)
+            local = MisraGries(self.active_options.misra_gries_k)
             local.update_array(chunk)
             merged.merge(local)
 
     def _mg_table(self, merged: MisraGries, num_nodes: int) -> RemapTable:
         """Extract the top-t remap table from a finished summary + metrics."""
-        top = merged.top(self.options.misra_gries_t)
+        top = merged.top(self.active_options.misra_gries_t)
         if self.telemetry.enabled:
             m = self.telemetry.metrics
             m.gauge("mg.summary_size", help="entries in the merged MG summary").set(
@@ -854,11 +1056,13 @@ class PimTcPipeline:
 
     def _run_misra_gries(self, kept: COOGraph, clock: SimClock) -> RemapTable:
         """Per-thread Misra-Gries over the node stream, merged, top-t extracted."""
-        merged = MisraGries(self.options.misra_gries_k)
+        merged = MisraGries(self.active_options.misra_gries_k)
         self._mg_update(merged, kept.src, kept.dst)
         clock.advance(
             "sample_creation",
-            self._host_seconds(self.options.mg_host_cycles_per_edge, kept.num_edges),
+            self._host_seconds(
+                self.active_options.mg_host_cycles_per_edge, kept.num_edges
+            ),
         )
         return self._mg_table(merged, kept.num_nodes)
 

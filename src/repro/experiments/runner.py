@@ -42,6 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "in B-edge chunks (sets REPRO_BATCH_EDGES for this run); default: "
              "monolithic single-pass ingest",
     )
+    parser.add_argument(
+        "--partitioner",
+        default=None,
+        choices=("hash", "degree", "auto"),
+        help="edge-partitioning strategy for every pipeline the experiments "
+             "build (sets REPRO_PARTITIONER for this run); default: hash "
+             "coloring as in the paper",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument(
         "--markdown", action="store_true", help="emit a markdown report instead of text"
@@ -108,12 +116,15 @@ def main(argv: list[str] | None = None, telemetry=None) -> int:
     or ``--chrome-trace`` ask for exported telemetry.
     """
     args = _build_parser().parse_args(argv)
-    if args.batch_edges is not None:
+    if args.batch_edges is not None or args.partitioner is not None:
         # Same env-fallback channel PimTriangleCounter reads for the executor
         # knobs: every counter the experiment modules construct picks it up.
         import os
 
-        os.environ["REPRO_BATCH_EDGES"] = str(args.batch_edges)
+        if args.batch_edges is not None:
+            os.environ["REPRO_BATCH_EDGES"] = str(args.batch_edges)
+        if args.partitioner is not None:
+            os.environ["REPRO_PARTITIONER"] = args.partitioner
     if args.experiment == "list":
         for exp in EXPERIMENTS.values():
             print(f"{exp.id:12s} {exp.paper_artifact:14s} {exp.description}")

@@ -41,6 +41,7 @@ __all__ = [
     "EXECUTOR_GRID",
     "BASELINE_NAMES",
     "PIPELINE_VARIANTS",
+    "PARTITIONER_GRID",
     "DifferentialReport",
     "DifferentialRunner",
 ]
@@ -53,6 +54,9 @@ EXECUTOR_GRID: tuple[str, ...] = ("serial", "thread", "process")
 BASELINE_NAMES: tuple[str, ...] = ("reference_dense", "reference_sets", "cpu_coo", "cpu_csr")
 #: Pipeline counting-kernel variants (PimTcOptions.kernel_variant).
 PIPELINE_VARIANTS: tuple[str, ...] = ("merge", "probe")
+#: Edge-partitioning strategies; any partition-coloring is exact under the
+#: monochromatic correction, so every strategy must agree bit-for-bit.
+PARTITIONER_GRID: tuple[str, ...] = ("hash", "degree", "auto")
 
 #: Node-count ceiling for the dense trace(A^3) reference (it is O(n^2) memory).
 _DENSE_LIMIT = 2000
@@ -128,8 +132,11 @@ class DifferentialRunner:
         Worker count for the thread/process engines.  2 forces real pools on
         multi-DPU runs; the process engine degrades safely where the platform
         forbids worker processes.
-    executors / variants / kernels / baselines:
-        Grid axes; defaults cover everything.
+    executors / variants / kernels / baselines / partitioners:
+        Grid axes; defaults cover everything except the partitioners axis,
+        which defaults to hash alone (the paper's strategy) to keep fuzz
+        iterations cheap — targeted tests widen it to
+        :data:`PARTITIONER_GRID`.
     """
 
     num_colors: int = 3
@@ -139,6 +146,7 @@ class DifferentialRunner:
     variants: tuple[str, ...] = PIPELINE_VARIANTS
     kernels: tuple[str, ...] = KERNEL_NAMES
     baselines: tuple[str, ...] = BASELINE_NAMES
+    partitioners: tuple[str, ...] = ("hash",)
 
     # ------------------------------------------------------------------ pieces
     def kernel_counts(self, graph: COOGraph) -> dict[str, int]:
@@ -172,13 +180,16 @@ class DifferentialRunner:
         return out
 
     def pipeline_results(
-        self, graph: COOGraph, variant: str
+        self, graph: COOGraph, variant: str, partitioner: str = "hash"
     ) -> dict[str, TcResult]:
         """Full-pipeline runs of one kernel variant under every engine."""
         results: dict[str, TcResult] = {}
         for engine in self.executors:
             options = PimTcOptions(
-                num_colors=self.num_colors, seed=self.seed, kernel_variant=variant
+                num_colors=self.num_colors,
+                seed=self.seed,
+                kernel_variant=variant,
+                partitioner=partitioner,
             )
             counter = PimTriangleCounter(
                 options=options, executor=engine, jobs=self.jobs
@@ -204,10 +215,14 @@ class DifferentialRunner:
             report.record(label, count)
 
         for variant in self.variants:
-            results = self.pipeline_results(g, variant)
-            for engine, result in results.items():
-                report.record(f"pipeline:{variant}×{engine}", result.count)
-            self._check_parity(variant, results, report)
+            for part in self.partitioners:
+                results = self.pipeline_results(g, variant, part)
+                # Hash (the paper's strategy) keeps the historical label so
+                # existing fuzz corpora and report diffs stay comparable.
+                tag = variant if part == "hash" else f"{variant}×{part}"
+                for engine, result in results.items():
+                    report.record(f"pipeline:{tag}×{engine}", result.count)
+                self._check_parity(tag, results, report)
         return report
 
     def _check_parity(

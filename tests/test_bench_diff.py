@@ -167,6 +167,52 @@ class TestDiffDocuments:
         assert summary["failed"] is True
         assert bench_diff.diff_documents(doc, doc)["failed"] is False
 
+    def test_imbalance_v2_gates_degree_strategy(self, bench_diff):
+        doc = {
+            "schema": "repro-bench-imbalance/2",
+            "runs": [
+                {
+                    "graph": "wikipedia",
+                    "count": 1368,
+                    "counts_match": True,
+                    "counts_match_degree": True,
+                    "baseline": {
+                        "count_seconds": {"max": 0.004, "max_over_mean": 2.14},
+                        "merge_steps": {"max_over_mean": 2.5},
+                    },
+                    "misra_gries": {
+                        "count_seconds": {"max": 0.003, "max_over_mean": 1.4},
+                    },
+                    "degree": {
+                        "count_seconds": {"max_over_mean": 2.12},
+                        "edges_routed": {
+                            "max_over_mean": 2.12, "p99_over_p50": 2.24,
+                        },
+                    },
+                    "skew_improvement_max_over_mean": 1.53,
+                    "skew_improvement_degree": 1.01,
+                }
+            ],
+        }
+        assert bench_diff.diff_documents(doc, doc)["failed"] is False
+
+        # a degree-side skew regression beyond threshold is a hard failure
+        worse = copy.deepcopy(doc)
+        worse["runs"][0]["degree"]["edges_routed"]["p99_over_p50"] = 2.6
+        assert bench_diff.diff_documents(doc, worse)["failed"] is True
+
+        # a degree-count mismatch (exact metric flips True -> False) fails
+        broken = copy.deepcopy(doc)
+        broken["runs"][0]["counts_match_degree"] = False
+        assert bench_diff.diff_documents(doc, broken)["failed"] is True
+
+        # a shrinking improvement factor only warns, never fails
+        flat = copy.deepcopy(doc)
+        flat["runs"][0]["skew_improvement_degree"] = 0.9
+        summary = bench_diff.diff_documents(doc, flat)
+        assert summary["failed"] is False
+        assert any("skew_improvement_degree" in w for w in summary["warnings"])
+
 
 class TestCli:
     def test_exit_codes_and_summary_artifact(

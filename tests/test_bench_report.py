@@ -66,13 +66,15 @@ def test_imbalance_sweep_compares_remap(bench_report):
     assert document["runs"]
     for run in document["runs"]:
         assert run["counts_match"], run["graph"]
-        for side in ("baseline", "misra_gries"):
+        assert run["counts_match_degree"], run["graph"]
+        for side in ("baseline", "misra_gries", "degree"):
             skew = run[side]["count_seconds"]
             assert skew["max_over_mean"] >= 1.0
             assert skew["max"] >= skew["mean"]
         top = run["baseline"]["top_straggler"]
         assert top is not None and len(top["triplet"]) == 3
         assert run["skew_improvement_max_over_mean"] > 0
+        assert run["skew_improvement_degree"] > 0
 
 
 def test_main_writes_imbalance_artifact(bench_report, tmp_path, capsys):
@@ -85,8 +87,9 @@ def test_main_writes_imbalance_artifact(bench_report, tmp_path, capsys):
     assert code == 0
     assert "skew comparisons" in capsys.readouterr().out
     document = json.loads(imbalance_out.read_text())
-    assert document["schema"] == "repro-bench-imbalance/1"
+    assert document["schema"] == "repro-bench-imbalance/2"
     assert all(r["counts_match"] for r in document["runs"])
+    assert all(r["counts_match_degree"] for r in document["runs"])
     assert all(r["misra_gries_k"] == 128 for r in document["runs"])
 
 

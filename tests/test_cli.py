@@ -64,6 +64,29 @@ class TestDatasetSpecs:
         with pytest.raises(SystemExit):
             main(["dataset:orkut", "--misra-gries", "1024"])
 
+    def test_partitioner_flag(self, capsys):
+        truth = count_triangles(get_dataset("wikipedia", "tiny"))
+        assert main(
+            ["dataset:wikipedia", "--tier", "tiny", "--colors", "4",
+             "--partitioner", "degree"]
+        ) == 0
+        assert f"triangles (exact): {truth}" in capsys.readouterr().out
+
+    def test_auto_partitioner_prints_decision(self, capsys):
+        assert main(
+            ["dataset:wikipedia", "--tier", "tiny", "--colors", "4",
+             "--partitioner", "auto"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "auto-tune: strategy=" in out
+
+    def test_rebalance_flag_prints_events(self, capsys):
+        assert main(
+            ["dataset:wikipedia", "--tier", "tiny", "--colors", "4",
+             "--batch-edges", "500", "--rebalance-cv", "0.0"]
+        ) == 0
+        assert "rebalances:" in capsys.readouterr().out
+
 
 class TestTelemetryFlags:
     def test_metrics_out_writes_valid_run_report(self, tmp_path, capsys):

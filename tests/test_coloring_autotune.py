@@ -1,0 +1,100 @@
+"""Auto-tuner: strategy/C/MG selection from graph stats, with a trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coloring.autotune import (
+    DEFAULT_MG_K,
+    DEFAULT_MG_T,
+    MG_SKEW_THRESHOLD,
+    SKEW_DEGREE_THRESHOLD,
+    TARGET_EDGES_PER_DPU,
+    auto_tune,
+)
+from repro.coloring.triplets import num_triplets
+from repro.graph.coo import COOGraph
+from repro.graph.generators import erdos_renyi, hub_graph
+
+
+def _uniform_graph(seed: int = 0) -> COOGraph:
+    # ER with m ~= 2n keeps max/avg degree well under the skew threshold
+    return erdos_renyi(400, 800, np.random.default_rng(seed)).canonicalize()
+
+
+def _hub_heavy_graph(seed: int = 0) -> COOGraph:
+    return hub_graph(300, 300, 2, 250, np.random.default_rng(seed)).canonicalize()
+
+
+class TestStrategySelection:
+    def test_uniform_graph_keeps_hash(self):
+        d = auto_tune(_uniform_graph(), max_dpus=2048)
+        assert d.degree_skew < SKEW_DEGREE_THRESHOLD
+        assert d.strategy == "hash"
+
+    def test_hub_graph_picks_degree(self):
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        assert d.degree_skew >= SKEW_DEGREE_THRESHOLD
+        assert d.strategy == "degree"
+
+    def test_extreme_skew_enables_misra_gries(self):
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        if d.degree_skew >= MG_SKEW_THRESHOLD:
+            assert (d.misra_gries_k, d.misra_gries_t) == (DEFAULT_MG_K, DEFAULT_MG_T)
+        else:  # pragma: no cover - generator drift guard
+            assert d.misra_gries_k is None
+
+    def test_user_mg_respected_verbatim(self):
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048, misra_gries_k=64,
+                      misra_gries_t=4)
+        assert (d.misra_gries_k, d.misra_gries_t) == (64, 4)
+        step = next(s for s in d.trace if s["rule"] == "misra_gries")
+        assert "verbatim" in step["why"]
+
+
+class TestColorSizing:
+    def test_colors_respect_core_budget(self):
+        d = auto_tune(_uniform_graph(), max_dpus=35)  # binom(7,3)=35 -> C<=5
+        assert num_triplets(d.num_colors) <= 35
+
+    def test_colors_grow_with_edges(self):
+        small = auto_tune(_uniform_graph(), max_dpus=100_000)
+        big_graph = erdos_renyi(
+            5000, 200_000, np.random.default_rng(1)
+        ).canonicalize()
+        big = auto_tune(big_graph, max_dpus=100_000)
+        assert big.num_colors >= small.num_colors
+        # sizing rule: 6|E|/C^2 at the chosen C is near the target (it is
+        # the smallest admissible C unless clamped)
+        assert 6 * big.num_edges / big.num_colors**2 <= TARGET_EDGES_PER_DPU * 1.5
+
+    def test_empty_graph(self):
+        g = COOGraph.from_edges([], num_nodes=4)
+        d = auto_tune(g, max_dpus=2048)
+        assert d.num_colors == 2
+        assert d.strategy == "hash"
+
+
+class TestTraceAndDeterminism:
+    def test_trace_explains_every_knob(self):
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        rules = [s["rule"] for s in d.trace]
+        assert rules == ["strategy", "colors", "misra_gries", "expected_load"]
+        assert all("why" in s for s in d.trace)
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        blob = json.dumps(d.to_dict())  # must be JSON-serialisable for meta
+        assert json.loads(blob)["strategy"] == d.strategy
+
+    def test_deterministic(self):
+        a = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        b = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        assert a == b
+
+    def test_expected_load_positive(self):
+        d = auto_tune(_hub_heavy_graph(), max_dpus=2048)
+        assert d.expected_max_edges_per_dpu > 0

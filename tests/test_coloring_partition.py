@@ -7,10 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.coloring.partition import ColoringPartitioner
+from repro.coloring.partition import (
+    ColoringPartitioner,
+    DegreePartitioner,
+    make_partitioner as strategy_partitioner,
+)
+from repro.common.errors import ConfigurationError
 from repro.common.rng import RngFactory
 from repro.graph.coo import COOGraph
-from repro.graph.generators import erdos_renyi
+from repro.graph.generators import erdos_renyi, hub_graph
 from repro.graph.triangles import count_triangles
 
 from conftest import graph_strategy
@@ -18,6 +23,10 @@ from conftest import graph_strategy
 
 def make_partitioner(c: int, seed: int = 0) -> ColoringPartitioner:
     return ColoringPartitioner(c, RngFactory(seed).stream("c"))
+
+
+def make_degree_partitioner(c: int, seed: int = 0) -> DegreePartitioner:
+    return DegreePartitioner(c, RngFactory(seed).stream("c"))
 
 
 class TestAssignment:
@@ -130,3 +139,101 @@ class TestDeterminism:
         a = make_partitioner(4, seed=1).assign(small_graph)
         b = make_partitioner(4, seed=2).assign(small_graph)
         assert not np.array_equal(a.counts, b.counts)
+
+
+class TestDegreePartitioner:
+    """Degree-aware coloring: still a partition, so still exact."""
+
+    def _hub(self, seed: int = 0) -> COOGraph:
+        rng = np.random.default_rng(seed)
+        return hub_graph(200, 400, 3, 120, rng).canonicalize()
+
+    def test_counting_invariant_on_hub_graph(self):
+        g = self._hub()
+        truth = count_triangles(g)
+        for c in (2, 3, 4):
+            p = make_degree_partitioner(c, seed=c)
+            part = p.assign(g)
+            counts = np.array(
+                [
+                    count_triangles(COOGraph(src.copy(), dst.copy(), g.num_nodes))
+                    for src, dst in part.per_dpu
+                ],
+                dtype=np.float64,
+            )
+            total = counts.sum() - (c - 1) * counts[p.mono_mask()].sum()
+            assert total == truth
+
+    def test_node_colors_is_a_partition(self):
+        """Same node must get the same color no matter the query context."""
+        g = self._hub()
+        p = make_degree_partitioner(4)
+        p.fit(g)
+        nodes = np.arange(g.num_nodes)
+        whole = p.node_colors(nodes)
+        # query one at a time, reversed, and interleaved with other IDs
+        singles = np.array([int(p.node_colors(np.array([v]))[0]) for v in nodes])
+        np.testing.assert_array_equal(whole, singles)
+        np.testing.assert_array_equal(p.node_colors(nodes[::-1]), whole[::-1])
+
+    def test_unfitted_raises(self):
+        p = make_degree_partitioner(3)
+        assert not p.fitted
+        with pytest.raises(ConfigurationError):
+            p.node_colors(np.array([0, 1]))
+
+    def test_assign_autofits(self):
+        g = self._hub()
+        p = make_degree_partitioner(3)
+        part = p.assign(g)
+        assert p.fitted
+        assert part.total_routed == 3 * g.num_edges
+
+    def test_deterministic_fit(self):
+        g = self._hub()
+        a = make_degree_partitioner(4, seed=7).assign(g)
+        b = make_degree_partitioner(4, seed=7).assign(g)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_hot_nodes_are_highest_degree(self):
+        g = self._hub()
+        p = make_degree_partitioner(4)
+        p.fit(g)
+        assert p.num_hot_nodes >= 3  # the three planted hubs qualify
+        deg = g.degrees()
+        hot = p._hot_nodes
+        assert deg[hot].min() > deg.mean()
+
+    def test_reduces_max_triplet_load_vs_hash(self):
+        """The whole point: hub graphs route more evenly than under hash."""
+        g = self._hub(seed=3)
+        for seed in (0, 1, 2):
+            hash_counts = make_partitioner(4, seed=seed).assign(g).counts
+            deg_counts = make_degree_partitioner(4, seed=seed).assign(g).counts
+            assert deg_counts.max() <= hash_counts.max()
+
+    def test_expected_max_uses_fitted_mass(self):
+        g = self._hub()
+        p = make_degree_partitioner(4)
+        uniform = ColoringPartitioner(4, RngFactory(0).stream("c"))
+        # unfitted: falls back to the uniform formula
+        assert p.expected_max_edges_per_dpu(g.num_edges) == pytest.approx(
+            uniform.expected_max_edges_per_dpu(g.num_edges)
+        )
+        p.fit(g)
+        est = p.expected_max_edges_per_dpu(g.num_edges)
+        # fitted estimate reflects the actual (non-uniform) color masses: on
+        # a skewed graph it rises above the uniform 6m/C^3 formula, which
+        # under-estimates the realised max load here
+        actual = p.assign(g).counts.max()
+        assert est > uniform.expected_max_edges_per_dpu(g.num_edges)
+        assert actual > uniform.expected_max_edges_per_dpu(g.num_edges)
+
+    def test_strategy_factory(self):
+        rng = RngFactory(0).stream("c")
+        assert strategy_partitioner("hash", 3, rng).strategy == "hash"
+        assert strategy_partitioner("degree", 3, rng).strategy == "degree"
+        with pytest.raises(ConfigurationError):
+            strategy_partitioner("auto", 3, rng)  # resolved before this layer
+        with pytest.raises(ConfigurationError):
+            strategy_partitioner("nope", 3, rng)

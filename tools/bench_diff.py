@@ -29,7 +29,8 @@ Usage::
     python tools/bench_diff.py baseline.json current.json --threshold 0.10
 
 Supported schemas: ``repro-bench-telemetry/1``, ``repro-bench-ingest/1``,
-``repro-bench-imbalance/1`` (see ``benchmarks/bench_report.py``).
+``repro-bench-imbalance/1`` and ``/2`` (see ``benchmarks/bench_report.py``;
+v2 adds the degree-partitioner comparison columns).
 """
 
 from __future__ import annotations
@@ -78,10 +79,22 @@ _IMBALANCE_RULES = (
     Rule("skew_improvement_max_over_mean", "lower_worse", "warn"),
 )
 
+#: v2 extends v1 with the degree-partitioner side: counts stay exact, its
+#: skew ratios are hard-gated (they are simulated-clock quantities), and the
+#: hash-vs-degree improvement factor warns when it shrinks.
+_IMBALANCE_RULES_V2 = _IMBALANCE_RULES + (
+    Rule("counts_match_degree", "exact", "hard"),
+    Rule("degree.count_seconds.max_over_mean", "higher_worse", "hard"),
+    Rule("degree.edges_routed.max_over_mean", "higher_worse", "hard"),
+    Rule("degree.edges_routed.p99_over_p50", "higher_worse", "hard"),
+    Rule("skew_improvement_degree", "lower_worse", "warn"),
+)
+
 RULES_BY_SCHEMA: dict[str, tuple[Rule, ...]] = {
     "repro-bench-telemetry/1": _TELEMETRY_RULES,
     "repro-bench-ingest/1": _INGEST_RULES,
     "repro-bench-imbalance/1": _IMBALANCE_RULES,
+    "repro-bench-imbalance/2": _IMBALANCE_RULES_V2,
 }
 
 
