@@ -1,15 +1,19 @@
-"""Host-side executor speedup: serial vs. process engines (real wall-clock).
+"""Host-side wall-clock benchmarks: executor engines and kernel variants.
 
 Unlike the experiment benchmarks (simulated PIM time), this measures the
-library's own wall-clock — the quantity the execution engine exists to
-shrink.  At ``C=8`` the pipeline runs ``binom(10,3) = 120`` independent DPU
-kernels; the process engine chunks them over ``os.cpu_count()`` workers.
+library's own wall-clock — the quantity the execution engine and the
+vectorized kernel exist to shrink.  At ``C=8`` the pipeline runs
+``binom(10,3) = 120`` independent DPU kernels; the process engine chunks
+them over ``os.cpu_count()`` workers.
 
 The ``>= 2x`` speedup assertion only fires on machines with 4+ usable cores
 (single-core CI boxes can't exhibit parallel speedup; there the benchmark
-still records both timings so ``BENCH_*.json`` tracks the trajectory).
-Simulated results are asserted bit-identical regardless — the engine is a
-wall-clock knob only.
+still records both timings so ``BENCH_*.json`` tracks the trajectory).  The
+``fastvec``-vs-``fast`` kernel benchmark has no such gate: it is a
+single-threaded serial comparison, so it runs — and asserts simulated parity
+— everywhere, including 1-core containers where the executor benchmarks can
+only record.  Simulated results are asserted bit-identical in all cases —
+engines and kernel variants are wall-clock knobs only.
 """
 
 from __future__ import annotations
@@ -68,6 +72,52 @@ def test_executor_speedup_serial_vs_process(benchmark, graph):
             f"process engine {speedup:.2f}x vs serial on {os.cpu_count()} cores; "
             "expected >= 2x with 4+ cores"
         )
+
+
+def test_kernel_fastvec_vs_fast_serial(benchmark, graph):
+    """``fastvec`` vs ``fast``: serial wall-clock, zero simulated drift.
+
+    Runs everywhere — no core-count or tier gate — because it compares two
+    kernel implementations under the same (serial) engine.  The hard
+    assertions are the metric-neutrality contract; the timings feed
+    ``BENCH_kernel.json`` via ``bench_report.py --kernel-out``.
+    """
+    import numpy as np
+
+    def _variant_seconds(variant: str):
+        counter = PimTriangleCounter(num_colors=COLORS, seed=0, kernel_variant=variant)
+        start = time.perf_counter()
+        result = counter.count(graph)
+        return result, time.perf_counter() - start
+
+    fast_result, fast_s = _variant_seconds("merge")
+
+    result = {}
+
+    def fastvec_run() -> None:
+        result["r"], result["s"] = _variant_seconds("fastvec")
+
+    benchmark.pedantic(fastvec_run, rounds=1, iterations=1)
+    vec_result, vec_s = result["r"], result["s"]
+
+    # The vectorized kernel must not perturb anything simulated.
+    assert vec_result.count == fast_result.count
+    assert vec_result.clock.phases == fast_result.clock.phases
+    assert np.array_equal(vec_result.per_dpu_counts, fast_result.per_dpu_counts)
+    k_fast, k_vec = fast_result.kernel, vec_result.kernel
+    assert (k_vec.instructions, k_vec.dma_requests, k_vec.dma_bytes) == (
+        k_fast.instructions,
+        k_fast.dma_requests,
+        k_fast.dma_bytes,
+    )
+
+    benchmark.extra_info["tier"] = TIER
+    benchmark.extra_info["num_colors"] = COLORS
+    benchmark.extra_info["fast_wall_s"] = round(fast_s, 4)
+    benchmark.extra_info["fastvec_wall_s"] = round(vec_s, 4)
+    benchmark.extra_info["speedup_fastvec"] = round(
+        fast_s / vec_s if vec_s > 0 else 1.0, 3
+    )
 
 
 def test_executor_thread_parity_wallclock(benchmark, graph):

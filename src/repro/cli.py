@@ -108,6 +108,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(resident samples migrate, charged as a "
                              "scatter); default: disabled "
                              "(or $REPRO_REBALANCE_CV)")
+    parser.add_argument("--kernel", default=None,
+                        choices=("merge", "fastvec", "probe"),
+                        help="counting kernel variant: 'merge' (the paper's "
+                             "Sec. 3.4 merge-intersection), 'fastvec' (same "
+                             "charges, numpy searchsorted hot path — changes "
+                             "wall-clock only), or 'probe' (binary-search "
+                             "wedge checks, a different cost model) "
+                             "(default: $REPRO_KERNEL or merge)")
     parser.add_argument("--local", action="store_true",
                         help="also compute per-node (local) triangle counts")
     parser.add_argument("--top", type=int, default=5,
@@ -218,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
             batch_edges=args.batch_edges,
             partitioner=args.partitioner,
             rebalance_cv=args.rebalance_cv,
+            kernel_variant=args.kernel,
             executor=args.executor,
             jobs=args.jobs,
             telemetry=telemetry,

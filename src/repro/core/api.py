@@ -56,6 +56,7 @@ class PimTriangleCounter:
         batch_edges: int | None = None,
         partitioner: str | None = None,
         rebalance_cv: float | None = None,
+        kernel_variant: str | None = None,
         executor: str | None = None,
         jobs: int | None = None,
         system_config: PimSystemConfig | None = None,
@@ -75,6 +76,11 @@ class PimTriangleCounter:
         if rebalance_cv is None:
             env_cv = os.environ.get("REPRO_REBALANCE_CV")
             rebalance_cv = float(env_cv) if env_cv else None
+        # Counting kernel ("merge" / "fastvec" / "probe"): "fastvec" is the
+        # wall-clock-only variant — simulated metrics are pinned bit-identical
+        # to "merge" by the differential grid.
+        if kernel_variant is None:
+            kernel_variant = os.environ.get("REPRO_KERNEL") or "merge"
         if options is None:
             options = PimTcOptions(
                 num_colors=num_colors,
@@ -86,6 +92,7 @@ class PimTriangleCounter:
                 batch_edges=batch_edges,
                 partitioner=partitioner,
                 rebalance_cv=rebalance_cv,
+                kernel_variant=kernel_variant,
             )
         self.options = options
         config = system_config or PimSystemConfig()

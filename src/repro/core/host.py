@@ -174,8 +174,10 @@ class PimTcOptions:
     mg_host_cycles_per_edge: float = 25.0
     #: Fraction of MRAM reserved for the region table, stats and stack.
     mram_reserve_fraction: float = 0.0625
-    #: Counting kernel: "merge" (the paper's, Sec. 3.4) or "probe"
-    #: (binary-search wedge checks; see core.kernel_tc_probe).
+    #: Counting kernel: "merge" (the paper's, Sec. 3.4), "fastvec"
+    #: (identical charges, searchsorted count arithmetic; see
+    #: core.kernel_tc_vec) or "probe" (binary-search wedge checks; see
+    #: core.kernel_tc_probe).
     kernel_variant: str = "merge"
     #: Host-side per-core batch buffer, in edges.  The paper's host flushes
     #: each core's batch array to the PIM side as it fills while streaming the
@@ -210,9 +212,10 @@ class PimTcOptions:
             )
         if self.rebalance_cv is not None and self.rebalance_cv < 0:
             raise ConfigurationError("rebalance_cv must be >= 0 or None")
-        if self.kernel_variant not in ("merge", "probe"):
+        if self.kernel_variant not in ("merge", "fastvec", "probe"):
             raise ConfigurationError(
-                f"kernel_variant must be 'merge' or 'probe', got {self.kernel_variant!r}"
+                f"kernel_variant must be 'merge', 'fastvec' or 'probe', "
+                f"got {self.kernel_variant!r}"
             )
         if self.transfer_batch_edges is not None and self.transfer_batch_edges < 1:
             raise ConfigurationError("transfer_batch_edges must be >= 1 or None")
@@ -317,6 +320,12 @@ class PimTcPipeline:
             from .kernel_tc_probe import ProbeTriangleCountKernel
 
             kernel = ProbeTriangleCountKernel(
+                num_nodes=graph.num_nodes, costs=opts.kernel_costs
+            )
+        elif opts.kernel_variant == "fastvec":
+            from .kernel_tc_vec import VecTriangleCountKernel
+
+            kernel = VecTriangleCountKernel(
                 num_nodes=graph.num_nodes, costs=opts.kernel_costs
             )
         else:

@@ -30,14 +30,21 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from typing import Callable
+
 from ..common.errors import KernelLaunchError
 from ..pimsim.dpu import Dpu
 from ..pimsim.wram import WramPlan
 from .orient import orient_and_sort
-from .region_index import build_region_index
+from .region_index import RegionIndex, build_region_index
 from .remap import RemapTable, apply_remap
 
-__all__ = ["KernelCosts", "FastCountResult", "fast_count", "TriangleCountKernel"]
+__all__ = ["CounterFn", "KernelCosts", "FastCountResult", "fast_count", "TriangleCountKernel"]
+
+#: Count hook: ``(u, v, num_nodes, index) -> triangles`` over the oriented,
+#: sorted sample.  Must match ``_count_forward_sparse`` exactly, duplicates
+#: and all — charges are shared, only the count arithmetic is pluggable.
+CounterFn = Callable[[np.ndarray, np.ndarray, int, RegionIndex], int]
 
 
 @dataclass(frozen=True)
@@ -137,8 +144,20 @@ def fast_count(
     num_nodes: int,
     costs: KernelCosts | None = None,
     num_tasklets: int = 16,
+    counter: "CounterFn | None" = None,
 ) -> FastCountResult:
-    """Count triangles over one sample and compute its per-tasklet cost split."""
+    """Count triangles over one sample and compute its per-tasklet cost split.
+
+    ``counter`` swaps the host-side arithmetic that produces the *count* while
+    every *charge* below keeps flowing through the same analytic formulas —
+    this is what lets alternative count implementations (e.g. the
+    searchsorted kernel in :mod:`~repro.core.kernel_tc_vec`) stay bit-identical
+    on simulated clocks, charges and ``kernel_stats`` by construction: the
+    cost model never sees which arithmetic ran.  The callable receives the
+    oriented, lexicographically sorted ``(u, v)`` arrays, ``num_nodes`` and the
+    prebuilt :class:`~repro.core.region_index.RegionIndex`, and must return
+    the exact triangle count (duplicate-edge multiplicities included).
+    """
     costs = costs or KernelCosts()
     u, v, ostats = orient_and_sort(src, dst, wram_run_edges=costs.edge_buffer_edges)
     index = build_region_index(u)
@@ -148,7 +167,10 @@ def fast_count(
         zeros = np.zeros(t, dtype=np.float64)
         return FastCountResult(0, 0, 0, 0, 0, zeros, zeros.copy(), zeros.copy(), 0)
 
-    triangles = _count_forward_sparse(u, v, num_nodes)
+    if counter is None:
+        triangles = _count_forward_sparse(u, v, num_nodes)
+    else:
+        triangles = counter(u, v, num_nodes, index)
 
     # --- per-edge cost quantities -------------------------------------------
     bs_steps = index.search_steps()
@@ -235,6 +257,16 @@ class TriangleCountKernel:
     costs: KernelCosts = field(default_factory=KernelCosts)
     name: str = "triangle_count"
 
+    def _counter(self) -> CounterFn | None:
+        """Count hook handed to :func:`fast_count`; ``None`` = sparse matmul.
+
+        Subclasses (``VecTriangleCountKernel``) override this to swap the
+        count arithmetic without touching charges, traces or MRAM layout —
+        they deliberately keep ``name`` as ``"triangle_count"`` so trace
+        events and span attributes stay bit-identical too.
+        """
+        return None
+
     def wram_plan(self, dpu: Dpu) -> WramPlan:
         c = self.costs
         return WramPlan(
@@ -272,6 +304,7 @@ class TriangleCountKernel:
             num_nodes,
             costs=self.costs,
             num_tasklets=dpu.config.num_tasklets,
+            counter=self._counter(),
         )
         dpu.charge_instructions_all(result.per_tasklet_instr)
         for tk in range(dpu.config.num_tasklets):

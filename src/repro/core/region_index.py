@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RegionIndex", "build_region_index"]
+__all__ = ["RegionIndex", "build_region_index", "expand_slices"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,27 @@ class RegionIndex:
     def table_bytes(self, entry_bytes: int = 8) -> int:
         """MRAM footprint of the table (node + offset per region)."""
         return self.num_regions * entry_bytes
+
+
+def expand_slices(starts: np.ndarray, ends: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten contiguous ``[start, end)`` spans into flat gather indices.
+
+    Returns ``(positions, owner)``: span ``i``'s positions
+    ``starts[i] .. ends[i]-1`` appear contiguously in ``positions`` and
+    ``owner`` records which span each position came from.  The vectorized
+    kernel uses this to expand per-edge adjacency slices into one flat
+    candidate array in a single pass — no Python loop over edges.
+    """
+    counts = np.asarray(ends, dtype=np.int64) - np.asarray(starts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    owner = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - offsets[owner]
+    positions = np.asarray(starts, dtype=np.int64)[owner] + within
+    return positions, owner
 
 
 def build_region_index(u_sorted: np.ndarray) -> RegionIndex:

@@ -40,9 +40,10 @@ keyword arguments, or the CLI's ``--executor/--jobs`` flags.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Any, Callable, Sequence
 
@@ -52,6 +53,7 @@ from ..common.errors import ConfigurationError
 from .config import EXECUTOR_NAMES
 from .dpu import Dpu
 from .kernel import Kernel
+from .shm import ShmChunk, ShmSegment, decode_chunk, encode_chunk, shm_available
 
 __all__ = [
     "Executor",
@@ -59,6 +61,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "set_payload_pickle_hook",
     "EXECUTOR_NAMES",
 ]
 
@@ -103,6 +106,36 @@ def _run_chunk(
     """
     results = [fn(dpu, payload) for dpu, payload in zip(dpus, payloads)]
     return dpus, results
+
+
+def _run_chunk_shm(fn: DpuTask, chunk: ShmChunk) -> tuple[list[Dpu], list[Any]]:
+    """Worker entry for the shared-memory transport: decode, then run.
+
+    The control message carries only the object skeleton; the array bytes
+    (MRAM samples, routed chunks, reservoir backing stores) are copied out of
+    the named segment.  Results travel back by pickle as before — post-run
+    MRAM holds small result symbols, not the sample.
+    """
+    dpus, payloads = decode_chunk(chunk)
+    return _run_chunk(fn, dpus, payloads)
+
+
+#: Test hook: called with ``(pickled_bytes, transport)`` for every chunk the
+#: process engine submits ("shm" or "pickle").  Measuring costs an extra
+#: serialization pass, so nothing is computed unless a hook is installed.
+_payload_pickle_hook: Callable[[int, str], None] | None = None
+
+
+def set_payload_pickle_hook(hook: Callable[[int, str], None] | None) -> None:
+    """Install (or clear, with ``None``) the per-chunk payload-bytes probe."""
+    global _payload_pickle_hook
+    _payload_pickle_hook = hook
+
+
+def _note_payload(obj: object, transport: str) -> None:
+    if _payload_pickle_hook is not None:
+        size = len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        _payload_pickle_hook(size, transport)
 
 
 def _chunk_slices(n: int, parts: int) -> list[slice]:
@@ -254,6 +287,17 @@ class ProcessExecutor(Executor):
     boundaries are a pure function of ``(len(dpus), jobs)`` and merging is by
     index, so the engine cannot perturb results or the cost model.
 
+    By default chunks travel through POSIX shared memory (:mod:`.shm`): the
+    large arrays — DPU MRAM samples, routed edge chunks, reservoir backing
+    arrays — are spilled into one segment per chunk and the pickled control
+    message shrinks to the object skeleton plus a name/offset table.  Each
+    segment is unlinked the moment its chunk's future resolves (success or
+    worker crash); :meth:`close` — which ``DpuSet.free()`` calls — unlinks
+    any leftovers, so no ``/dev/shm`` entry outlives the run.  Set
+    ``REPRO_SHM=0`` (or ``shm=False``) to force the plain pickling path; the
+    two transports are bit-identical by construction (the worker sees equal
+    arrays either way).
+
     If the platform refuses to give us a process pool (sandboxes without
     semaphores, for instance), the engine warns once and falls back to serial
     execution rather than failing the run.
@@ -261,10 +305,48 @@ class ProcessExecutor(Executor):
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(self, jobs: int | None = None, shm: bool | None = None) -> None:
         super().__init__(jobs)
         self._pool: ProcessPoolExecutor | None = None
         self._fallback = False
+        if shm is None:
+            env = os.environ.get("REPRO_SHM", "").strip().lower()
+            shm = env not in ("0", "false", "off", "no")
+        self._shm_wanted = bool(shm)
+        self._segments: dict[str, ShmSegment] = {}
+
+    # ------------------------------------------------------------- transport
+    def _submit_chunk(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: DpuTask,
+        chunk_dpus: list[Dpu],
+        chunk_payloads: list[Any],
+    ) -> tuple[Future, str | None]:
+        """Submit one chunk, spilling its arrays to shared memory when possible.
+
+        Returns the future plus the segment name to unlink at join (``None``
+        on the plain pickling path).  Any shared-memory failure degrades to
+        pickling — the transport must never change results or kill a run.
+        """
+        if self._shm_wanted and shm_available():
+            try:
+                encoded = encode_chunk((chunk_dpus, chunk_payloads))
+            except OSError:
+                encoded = None
+            if encoded is not None:
+                chunk, segment = encoded
+                self._segments[segment.name] = segment
+                _note_payload(chunk, "shm")
+                return pool.submit(_run_chunk_shm, fn, chunk), segment.name
+        _note_payload((chunk_dpus, chunk_payloads), "pickle")
+        return pool.submit(_run_chunk, fn, chunk_dpus, chunk_payloads), None
+
+    def _release_segment(self, name: str | None) -> None:
+        if name is not None:
+            segment = self._segments.pop(name, None)
+            if segment is not None:
+                segment.unlink()
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._fallback:
@@ -296,13 +378,21 @@ class ProcessExecutor(Executor):
         chunks = _chunk_slices(n, self.jobs)
         payloads = list(payloads)
         try:
-            futures = [
-                pool.submit(_run_chunk, fn, dpus[sl], payloads[sl]) for sl in chunks
+            submissions = [
+                self._submit_chunk(pool, fn, dpus[sl], payloads[sl]) for sl in chunks
             ]
-            merged = [f.result() for f in futures]
+            merged = []
+            for future, segment in submissions:
+                try:
+                    merged.append(future.result())
+                finally:
+                    # The worker is done with the chunk (or died); either way
+                    # its segment must not outlive the future.
+                    self._release_segment(segment)
         except Exception:
             # A broken pool (killed worker, unpicklable payload) is a real
-            # error for the caller to see; just don't leak the pool.
+            # error for the caller to see; just don't leak the pool — close()
+            # also unlinks the segments of chunks that never completed.
             self.close()
             raise
         results: list[Any] = [None] * n
@@ -322,11 +412,18 @@ class ProcessExecutor(Executor):
             return super().map_dpus_async(fn, dpus, payloads)
         chunks = _chunk_slices(n, self.jobs)
         payloads = list(payloads)
-        futures = [pool.submit(_run_chunk, fn, dpus[sl], payloads[sl]) for sl in chunks]
+        submissions = [
+            self._submit_chunk(pool, fn, dpus[sl], payloads[sl]) for sl in chunks
+        ]
 
         def join() -> list[Any]:
             try:
-                merged = [f.result() for f in futures]
+                merged = []
+                for future, segment in submissions:
+                    try:
+                        merged.append(future.result())
+                    finally:
+                        self._release_segment(segment)
             except Exception:
                 self.close()
                 raise
@@ -339,6 +436,11 @@ class ProcessExecutor(Executor):
         return join
 
     def close(self) -> None:
+        # Segments first: a leftover here means a chunk never joined (error
+        # path, abandoned async map, or a crashed worker) and nobody else
+        # will ever unlink it.
+        for name in list(self._segments):
+            self._release_segment(name)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -1,0 +1,210 @@
+"""Zero-pickle payload transport over POSIX shared memory.
+
+The process execution engine historically shipped every chunk — DPU objects
+with their MRAM-resident edge samples, routed edge arrays, reservoir backing
+arrays — to workers by pickling the whole structure through a pipe.  For
+array-heavy payloads the pipe bytes dominate the dispatch cost.  This module
+replaces the array bytes with one :class:`multiprocessing.shared_memory`
+segment per chunk: the parent copies every large ``numpy`` array into the
+segment once, and the pickled control message shrinks to the object
+*skeleton* plus a ``(dtype, shape, offset)`` table — header-sized, whatever
+the sample size.
+
+The codec is structure-agnostic: a custom :class:`pickle.Pickler` intercepts
+``ndarray`` objects anywhere in the payload graph via ``persistent_id`` and
+spills them to the segment, so DPUs, reservoirs, routed chunks and tuples of
+all of the above need no per-type handling.  The worker-side decoder attaches
+the segment, **copies** each array out (making results self-contained and
+writable), and detaches immediately — no view lifetime to manage, and the
+worker's ``resource_tracker`` is told to forget the segment so it cannot
+unlink it behind the parent's back (the attach side registers it too on
+CPython ≤ 3.12).
+
+Lifecycle: the parent owns every segment it creates.  The execution engine
+unlinks a chunk's segment as soon as that chunk's future resolves (success
+*or* worker crash), and :meth:`ProcessExecutor.close` unlinks any leftovers —
+which ``DpuSet.free()`` triggers — so no ``/dev/shm`` entry outlives the run.
+``tests/test_shared_memory_executor.py`` pins all of this.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SHM_MIN_ARRAY_BYTES",
+    "ShmChunk",
+    "ShmSegment",
+    "shm_available",
+    "encode_chunk",
+    "decode_chunk",
+]
+
+#: Arrays smaller than this stay in the pickle stream: a table entry plus a
+#: segment round-trip costs more than pickling a few hundred bytes inline.
+SHM_MIN_ARRAY_BYTES = 256
+
+#: Segment offsets are aligned like MRAM DMA transfers — cheap, and keeps
+#: every array's base pointer friendly to vectorized loads.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ShmChunk:
+    """The control message a worker receives instead of the raw payload.
+
+    ``payload`` is a pickle stream whose large arrays were replaced by
+    persistent IDs indexing ``table``; each table row locates one array in
+    the named segment as ``(dtype_str, shape, byte_offset)``.
+    """
+
+    segment: str
+    table: tuple[tuple[str, tuple[int, ...], int], ...]
+    payload: bytes
+
+
+class ShmSegment:
+    """Parent-side owner of one segment; unlink is idempotent."""
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.name = shm.name
+
+    def unlink(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_available() -> bool:
+    """Probe (once) whether POSIX shared memory works in this environment.
+
+    Sandboxes that forbid ``shm_open`` make the engine fall back to the
+    pickling path, mirroring the existing pool-creation fallback.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.buf[0] = 1
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def _spillable(obj: object, min_bytes: int) -> bool:
+    return (
+        isinstance(obj, np.ndarray)
+        and obj.dtype != object
+        and obj.nbytes >= min_bytes
+    )
+
+
+def encode_chunk(
+    obj: object, min_array_bytes: int = SHM_MIN_ARRAY_BYTES
+) -> tuple[ShmChunk, ShmSegment] | None:
+    """Encode one chunk payload; ``None`` when nothing is worth spilling.
+
+    Walks ``obj`` via pickling with a ``persistent_id`` hook: every ndarray
+    of at least ``min_array_bytes`` is spilled to a fresh shared-memory
+    segment and replaced in the stream by its table index.  Returns the
+    control message and the parent-side segment handle (caller owns the
+    unlink); ``None`` means the plain pickle path is the better transport.
+    """
+    buf = io.BytesIO()
+    arrays: list[np.ndarray] = []
+
+    class _SpillingPickler(pickle.Pickler):
+        def persistent_id(self, o: object):  # noqa: D102 - pickle hook
+            if _spillable(o, min_array_bytes):
+                arrays.append(np.ascontiguousarray(o))
+                return len(arrays) - 1
+            return None
+
+    _SpillingPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    if not arrays:
+        return None
+
+    offsets: list[int] = []
+    cursor = 0
+    for arr in arrays:
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        offsets.append(cursor)
+        cursor += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    for arr, off in zip(arrays, offsets):
+        dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+        dest[...] = arr
+    table = tuple(
+        (arr.dtype.str, arr.shape, off) for arr, off in zip(arrays, offsets)
+    )
+    return ShmChunk(segment=shm.name, table=table, payload=buf.getvalue()), ShmSegment(shm)
+
+
+#: PID at import time: a *forked* worker inherits this (≠ its own PID), a
+#: *spawned* worker re-imports the module (== its own PID).
+_IMPORT_PID = os.getpid()
+
+
+def _forget_in_tracker(shm: shared_memory.SharedMemory) -> None:
+    """Stop a spawned worker's resource tracker from owning the segment.
+
+    On CPython ≤ 3.12 *attaching* registers the segment with the attacher's
+    resource tracker.  In a spawned worker that tracker is the worker's own
+    and would unlink the segment at worker exit — racing the parent, who is
+    the real owner — so the registration must be dropped.  In the main
+    process or a forked worker the tracker is the parent's (shared), and the
+    parent's eventual ``unlink`` consumes the registration: unregistering
+    here too would leave the tracker with a dangling remove.
+    """
+    try:
+        import multiprocessing
+
+        if multiprocessing.parent_process() is None or os.getpid() != _IMPORT_PID:
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+def decode_chunk(chunk: ShmChunk) -> object:
+    """Worker-side decode: attach, copy the arrays out, detach, reconstruct.
+
+    The copies make the result self-contained (writable, independent of the
+    segment's lifetime), so the segment can be detached before the payload is
+    even unpickled and the parent may unlink it the moment the worker's
+    future resolves.
+    """
+    shm = shared_memory.SharedMemory(name=chunk.segment)
+    _forget_in_tracker(shm)
+    try:
+        arrays = [
+            np.ndarray(shape, dtype=np.dtype(dt), buffer=shm.buf, offset=off).copy()
+            for dt, shape, off in chunk.table
+        ]
+    finally:
+        shm.close()
+
+    class _RestoringUnpickler(pickle.Unpickler):
+        def persistent_load(self, pid: int):  # noqa: D102 - pickle hook
+            return arrays[pid]
+
+    return _RestoringUnpickler(io.BytesIO(chunk.payload)).load()

@@ -61,6 +61,7 @@ def verify_installation(
     from .core.kernel_tc import count_triangles_reference
     from .core.kernel_tc_fast import fast_count
     from .core.kernel_tc_probe import probe_count
+    from .core.kernel_tc_vec import vec_count
     from .core.remap import RemapTable, apply_remap
     from .graph.coo import COOGraph
     from .graph.generators import erdos_renyi
@@ -93,11 +94,14 @@ def verify_installation(
     def kernel_check():
         ref = count_triangles_reference(graph.src, graph.dst)
         fast = fast_count(graph.src, graph.dst, graph.num_nodes)
+        vec = vec_count(graph.src, graph.dst, graph.num_nodes)
         probe = probe_count(graph.src, graph.dst, graph.num_nodes)
         assert ref.triangles == fast.triangles == probe.triangles == truth
+        assert vec.triangles == truth
+        assert np.array_equal(vec.per_tasklet_instr, fast.per_tasklet_instr)
         pipeline = PimTriangleCounter(num_colors=4, seed=seed).count(graph)
         assert pipeline.count == truth, f"pipeline {pipeline.count} != {truth}"
-        return "reference == fast == probe == pipeline"
+        return "reference == fast == fastvec == probe == pipeline"
 
     def remap_check():
         top = np.argsort(-graph.degrees())[:5].astype(np.int64)

@@ -30,7 +30,9 @@ Usage::
 
 Supported schemas: ``repro-bench-telemetry/1``, ``repro-bench-ingest/1``,
 ``repro-bench-imbalance/1`` and ``/2`` (see ``benchmarks/bench_report.py``;
-v2 adds the degree-partitioner comparison columns).
+v2 adds the degree-partitioner comparison columns), and
+``repro-bench-kernel/1`` (fastvec-vs-fast: simulated metrics gated to zero
+drift, wall-clock warn-only).
 """
 
 from __future__ import annotations
@@ -90,11 +92,34 @@ _IMBALANCE_RULES_V2 = _IMBALANCE_RULES + (
     Rule("skew_improvement_degree", "lower_worse", "warn"),
 )
 
+#: fastvec-vs-fast kernel comparison: everything simulated is hard-gated —
+#: counts exactly, the ``simulated_identical`` flag exactly (any drift between
+#: the variants is a cost-model bug, not noise), phase totals and charge
+#: aggregates exactly (they are bit-identical across machines).  The
+#: wall-clock columns are honest timings and only warn: the fastvec win must
+#: *fall* (``wall_seconds_fastvec`` higher-worse, ``speedup_fastvec``
+#: lower-worse) for the gate to even mention them.
+_KERNEL_RULES = (
+    Rule("count", "exact", "hard"),
+    Rule("counts_match", "exact", "hard"),
+    Rule("simulated_identical", "exact", "hard"),
+    Rule("phases.setup", "exact", "hard"),
+    Rule("phases.sample_creation", "exact", "hard"),
+    Rule("phases.triangle_count", "exact", "hard"),
+    Rule("kernel_instructions", "exact", "hard"),
+    Rule("kernel_dma_requests", "exact", "hard"),
+    Rule("kernel_dma_bytes", "exact", "hard"),
+    Rule("wall_seconds_fast", "higher_worse", "warn"),
+    Rule("wall_seconds_fastvec", "higher_worse", "warn"),
+    Rule("speedup_fastvec", "lower_worse", "warn"),
+)
+
 RULES_BY_SCHEMA: dict[str, tuple[Rule, ...]] = {
     "repro-bench-telemetry/1": _TELEMETRY_RULES,
     "repro-bench-ingest/1": _INGEST_RULES,
     "repro-bench-imbalance/1": _IMBALANCE_RULES,
     "repro-bench-imbalance/2": _IMBALANCE_RULES_V2,
+    "repro-bench-kernel/1": _KERNEL_RULES,
 }
 
 
