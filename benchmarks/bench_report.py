@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -41,15 +42,27 @@ IMBALANCE_SCHEMA = "repro-bench-imbalance/2"
 KERNEL_SCHEMA = "repro-bench-kernel/1"
 
 
-def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
-    """Execute the sweep and return the ``BENCH_telemetry.json`` document."""
+def run_sweep(
+    tier: str,
+    seed: int,
+    num_colors: int | None = None,
+    flamegraph_dir: str | None = None,
+) -> dict:
+    """Execute the sweep and return the ``BENCH_telemetry.json`` document.
+
+    With ``flamegraph_dir`` set, also write one simulated-clock flamegraph
+    SVG per graph into that directory (created if missing) — observation
+    only, rendered from the span tree after each run finishes.
+    """
     from repro.core.api import PimTriangleCounter
     from repro.experiments.common import DEFAULT_COLORS, paper_graph_order_by_max_degree
     from repro.graph.datasets import get_dataset
     from repro.graph.stats import degree_stats
-    from repro.telemetry import Telemetry
+    from repro.telemetry import Telemetry, write_flamegraph
 
     colors = num_colors or DEFAULT_COLORS[tier]
+    if flamegraph_dir:
+        os.makedirs(flamegraph_dir, exist_ok=True)
     runs = []
     for name in paper_graph_order_by_max_degree(tier):
         graph = get_dataset(name, tier)
@@ -59,6 +72,12 @@ def run_sweep(tier: str, seed: int, num_colors: int | None = None) -> dict:
         wall_start = time.perf_counter()
         result = counter.count(graph)
         wall_seconds = time.perf_counter() - wall_start
+        if flamegraph_dir:
+            write_flamegraph(
+                os.path.join(flamegraph_dir, f"{name}_{tier}.svg"),
+                telemetry,
+                axis="sim",
+            )
         runs.append(
             {
                 "graph": name,
@@ -313,9 +332,14 @@ def main(argv: list[str] | None = None) -> int:
                              "comparison artifact (BENCH_kernel.json): "
                              "wall-clock of both variants, simulated "
                              "metrics gated to zero drift")
+    parser.add_argument("--flamegraph-dir", default=None, metavar="DIR",
+                        help="also write one simulated-clock flamegraph SVG "
+                             "per swept graph into DIR (created if missing)")
     args = parser.parse_args(argv)
 
-    document = run_sweep(args.tier, args.seed, args.colors)
+    document = run_sweep(
+        args.tier, args.seed, args.colors, flamegraph_dir=args.flamegraph_dir
+    )
     with open(args.out, "w") as fh:
         json.dump(document, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -324,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{args.out}: {len(document['runs'])} runs (tier={args.tier}, "
         f"C={document['colors']}), {total_wall:.2f}s wall total"
     )
+    if args.flamegraph_dir:
+        print(
+            f"{args.flamegraph_dir}/: {len(document['runs'])} flamegraph SVGs"
+        )
     if args.ingest_out:
         ingest = run_ingest_sweep(args.tier, args.seed, args.colors, args.batch_edges)
         with open(args.ingest_out, "w") as fh:

@@ -153,9 +153,25 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(one row per metric, one column per core)")
     parser.add_argument("--log-json", default=None, metavar="PATH",
                         help="write an NDJSON structured event log (run/phase "
-                             "start+end, batch progress, final estimate); "
+                             "start+end, heartbeat batch progress, final "
+                             "estimate, terminal run_end with exit status); "
                              "every line carries the run_id also stamped "
-                             "into the --metrics-out report")
+                             "into the --metrics-out report; tail it live "
+                             "with repro-watch")
+    parser.add_argument("--history", default=None, metavar="DB",
+                        help="append this run's RunReport to an sqlite "
+                             "run-history store (created on first use); "
+                             "query it with repro-history and gate on drift "
+                             "with repro-history trend / bench_diff --history")
+    parser.add_argument("--flamegraph", default=None, metavar="PATH",
+                        help="write a flamegraph of the span tree; PATH "
+                             "ending in .svg gets a standalone SVG, anything "
+                             "else collapsed-stack text for external "
+                             "flamegraph.pl-style tooling")
+    parser.add_argument("--flamegraph-axis", default="sim", choices=("sim", "wall"),
+                        help="clock the flamegraph widths measure: the "
+                             "deterministic simulated clock (default) or the "
+                             "host wall clock")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     parser.add_argument("--fuzz", type=int, default=None, metavar="N",
@@ -192,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
 
     telemetry_wanted = bool(
         args.metrics_out or args.chrome_trace or args.profile or args.log_json
+        or args.history or args.flamegraph
     )
     logger = None
     if args.log_json:
@@ -210,37 +227,51 @@ def main(argv: list[str] | None = None) -> int:
         )
     estimates = []
     result = None
-    for trial in range(args.trials):
-        # A fresh recorder per trial: reports describe the *last* run rather
-        # than an accumulation over trials.
-        telemetry = Telemetry(detail=True) if telemetry_wanted else None
-        if telemetry is not None and logger is not None:
-            telemetry.log_sink = logger.span_hook
-        counter = PimTriangleCounter(
-            num_colors=args.colors,
-            uniform_p=args.uniform_p,
-            reservoir_capacity=args.reservoir,
-            misra_gries_k=mg_k,
-            misra_gries_t=mg_t,
-            seed=args.seed + trial,
-            batch_edges=args.batch_edges,
-            partitioner=args.partitioner,
-            rebalance_cv=args.rebalance_cv,
-            kernel_variant=args.kernel,
-            executor=args.executor,
-            jobs=args.jobs,
-            telemetry=telemetry,
-        )
-        result = counter.count_local(graph) if args.local else counter.count(graph)
-        estimates.append(result.estimate)
+    try:
+        for trial in range(args.trials):
+            # A fresh recorder per trial: reports describe the *last* run
+            # rather than an accumulation over trials.
+            telemetry = Telemetry(detail=True) if telemetry_wanted else None
+            if telemetry is not None and logger is not None:
+                telemetry.log_sink = logger.span_hook
+                telemetry.event_sink = logger.event
+            counter = PimTriangleCounter(
+                num_colors=args.colors,
+                uniform_p=args.uniform_p,
+                reservoir_capacity=args.reservoir,
+                misra_gries_k=mg_k,
+                misra_gries_t=mg_t,
+                seed=args.seed + trial,
+                batch_edges=args.batch_edges,
+                partitioner=args.partitioner,
+                rebalance_cv=args.rebalance_cv,
+                kernel_variant=args.kernel,
+                executor=args.executor,
+                jobs=args.jobs,
+                telemetry=telemetry,
+            )
+            result = counter.count_local(graph) if args.local else counter.count(graph)
+            estimates.append(result.estimate)
+            if logger is not None:
+                logger.event(
+                    "estimate",
+                    trial=trial,
+                    estimate=float(result.estimate),
+                    exact=bool(result.is_exact),
+                    phases={k: float(v) for k, v in result.clock.phases.items()},
+                )
+    except BaseException as exc:
+        # Join-complete streams: the terminal run_end goes out even when the
+        # pipeline raises, so a tailing repro-watch (or the history ingester)
+        # can tell a crash from a run still in flight.
         if logger is not None:
             logger.event(
-                "estimate",
-                trial=trial,
-                estimate=float(result.estimate),
-                exact=bool(result.is_exact),
-                phases={k: float(v) for k, v in result.clock.phases.items()},
+                "run_end",
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
             )
+            logger.close()
+        raise
 
     assert result is not None
     kind = "exact" if result.is_exact else "estimated"
@@ -307,7 +338,8 @@ def _emit_telemetry(args, graph, result, logger=None) -> None:
     from .telemetry import RunReport, metrics_to_csv, render_profile, write_chrome_trace
 
     tel = result.telemetry
-    if args.metrics_out:
+    report = None
+    if args.metrics_out or args.history:
         report = RunReport.from_result(
             result,
             graph=graph,
@@ -320,16 +352,30 @@ def _emit_telemetry(args, graph, result, logger=None) -> None:
             },
             run_id=logger.run_id if logger is not None else None,
         )
+    if args.metrics_out:
         if args.metrics_out.endswith(".csv"):
             with open(args.metrics_out, "w") as fh:
                 fh.write(metrics_to_csv(tel.metrics.snapshot()))
         else:
             report.write_json(args.metrics_out)
         print(f"metrics report written to {args.metrics_out}")
+    if args.history:
+        from .observability.history import RunHistory
+
+        with RunHistory(args.history) as history:
+            history.ingest(report.to_dict(), source="repro-count")
+            total = history.num_runs()
+        print(f"run appended to history {args.history} ({total} runs on record)")
     if args.chrome_trace:
         write_chrome_trace(args.chrome_trace, tel, result.trace)
         print(f"chrome trace written to {args.chrome_trace} "
               "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.flamegraph:
+        from .telemetry import write_flamegraph
+
+        write_flamegraph(args.flamegraph, tel, axis=args.flamegraph_axis)
+        print(f"flamegraph ({args.flamegraph_axis} clock) written to "
+              f"{args.flamegraph}")
     if args.profile:
         print()
         print(render_profile(tel, imbalance=result.imbalance))

@@ -46,7 +46,7 @@ from ..streaming.reservoir import EdgeReservoir, reservoir_scale
 from ..streaming.uniform import uniform_keep_mask, uniform_sample
 from ..telemetry.metrics import DEFAULT_FRACTION_BUCKETS
 from ..telemetry.spans import SpanRecord, Telemetry
-from .ingest import DoubleBufferSchedule, iter_edge_batches
+from .ingest import DoubleBufferSchedule, iter_edge_batches, num_batches
 from .kernel_tc_fast import KernelCosts, TriangleCountKernel
 from .remap import RemapTable
 from .result import KernelAggregate, TcResult
@@ -588,11 +588,12 @@ class PimTcPipeline:
         dpu_of_triplet = np.arange(num_dpus, dtype=np.int64)
         rebalanced = False
         rebalances: list[dict] = []
-        pending: tuple | None = None  # (k, h_k, xfer_s, xfer_b, join, perm, targets)
+        batches_total = num_batches(graph.num_edges, opts.batch_edges)
+        pending: tuple | None = None  # (k, h_k, xfer_s, xfer_b, join, perm, targets, kept_k)
 
         def drain(entry: tuple) -> None:
             """Join one in-flight chunk and advance the overlapped clock."""
-            k, h_k, xfer_seconds, xfer_bytes, join, perm, targets = entry
+            k, h_k, xfer_seconds, xfer_bytes, join, perm, targets, kept_k = entry
             results = join()
             for t, (res, _n_in, secs) in enumerate(results):
                 reservoirs[t] = res
@@ -620,6 +621,27 @@ class PimTcPipeline:
                 "launch",
                 cost.launch_latency + compute,
                 detail=f"reservoir insert batch {k}",
+            )
+            # Live heartbeat for `repro-watch`: pure observation of values the
+            # schedule already holds.  The ETA extrapolates the two-buffer
+            # recurrence — remaining batches at the mean per-batch growth of
+            # the device-finish front (D(k)/k), which in steady state is
+            # max(h, d) per chunk.
+            done = schedule.batches
+            eta = (
+                (batches_total - done) * (schedule.elapsed / done) if done else 0.0
+            )
+            tel.emit_event(
+                "heartbeat",
+                batch=int(k),
+                batches_total=int(batches_total),
+                edges_streamed=int(min((k + 1) * opts.batch_edges, graph.num_edges)),
+                edges_total=int(graph.num_edges),
+                edges_kept=int(kept_k),
+                routed_bytes=int(xfer_bytes),
+                peak_routed_bytes=int(peak_routed_bytes),
+                sim_elapsed_seconds=float(schedule.elapsed),
+                eta_sim_seconds=float(eta),
             )
 
         with tel.span("sample_creation", clock=clock):
@@ -679,7 +701,8 @@ class PimTcPipeline:
                 targets = [dpus.dpus[int(c)] for c in dpu_of_triplet]
                 join = dpus.executor.map_dpus_async(_ingest_chunk, targets, payloads)
                 pending = (
-                    k, h_k, xfer_seconds, xfer_bytes, join, dpu_of_triplet, targets
+                    k, h_k, xfer_seconds, xfer_bytes, join, dpu_of_triplet,
+                    targets, edges_kept,
                 )
             if pending is not None:
                 drain(pending)

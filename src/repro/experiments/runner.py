@@ -79,6 +79,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a chrome://tracing / Perfetto trace of the harness run",
     )
+    parser.add_argument(
+        "--flamegraph",
+        default=None,
+        metavar="PATH",
+        help="write a wall-clock flamegraph of the harness run (one frame "
+             "per experiment); .svg for standalone SVG, else collapsed-stack "
+             "text",
+    )
     return parser
 
 
@@ -129,7 +137,7 @@ def main(argv: list[str] | None = None, telemetry=None) -> int:
         for exp in EXPERIMENTS.values():
             print(f"{exp.id:12s} {exp.paper_artifact:14s} {exp.description}")
         return 0
-    if telemetry is None and (args.metrics_out or args.chrome_trace):
+    if telemetry is None and (args.metrics_out or args.chrome_trace or args.flamegraph):
         from ..telemetry import Telemetry
 
         telemetry = Telemetry()
@@ -201,6 +209,12 @@ def main(argv: list[str] | None = None, telemetry=None) -> int:
         from ..telemetry import write_chrome_trace
 
         write_chrome_trace(args.chrome_trace, telemetry)
+    if telemetry is not None and args.flamegraph:
+        from ..telemetry import write_flamegraph
+
+        # Harness spans carry no simulated clock, so the wall axis is the
+        # informative one here.
+        write_flamegraph(args.flamegraph, telemetry, axis="wall")
     return 0
 
 

@@ -12,7 +12,16 @@ whether the Misra-Gries remap (Sec. 3.5) actually flattened the skew:
   straggler report and the per-DPU SVG heatmap;
 * :mod:`repro.observability.logjson` — NDJSON structured event logs
   (``repro-count --log-json``) carrying a ``run_id`` that joins log lines
-  to the matching :class:`~repro.telemetry.export.RunReport`.
+  to the matching :class:`~repro.telemetry.export.RunReport`; streams are
+  join-complete (terminal ``run_end`` with exit status, even on crash) and
+  carry live ``heartbeat`` batch-progress events;
+* :mod:`repro.observability.watch` — the ``repro-watch`` live monitor that
+  tails and renders one NDJSON stream;
+* :mod:`repro.observability.history` — the append-only sqlite run-history
+  store (``repro-history``) and the rolling-window trend regression
+  detector that extends the bench gate from point diffs to trajectories;
+* :mod:`repro.observability.validate` — the ``repro-validate`` schema
+  checker over RunReport JSON and NDJSON artifacts.
 
 Collection is **observation only**: it reads uncharged simulator state and
 never touches the :class:`~repro.pimsim.kernel.SimClock`, the
@@ -28,8 +37,17 @@ from .imbalance import (
     collect_ledger,
     skew_stats,
 )
-from .logjson import NdjsonLogger, new_run_id
+from .history import RunHistory, detect_trends, flatten_numeric
+from .logjson import (
+    NDJSON_EVENT_FIELDS,
+    NdjsonLogger,
+    load_ndjson,
+    new_run_id,
+    stream_status,
+    validate_ndjson_events,
+)
 from .report import imbalance_heatmap_svg, render_imbalance_report
+from .watch import render_stream, summarize_stream
 
 __all__ = [
     "ImbalanceLedger",
@@ -40,5 +58,14 @@ __all__ = [
     "render_imbalance_report",
     "imbalance_heatmap_svg",
     "NdjsonLogger",
+    "NDJSON_EVENT_FIELDS",
     "new_run_id",
+    "load_ndjson",
+    "stream_status",
+    "validate_ndjson_events",
+    "render_stream",
+    "summarize_stream",
+    "RunHistory",
+    "detect_trends",
+    "flatten_numeric",
 ]

@@ -1,0 +1,741 @@
+"""Append-only run-history store and trajectory-based trend regression gate.
+
+``tools/bench_diff.py`` (PR 5) compares one fresh benchmark artifact against
+one committed baseline — a *point* diff.  The paper's evaluation, however, is
+longitudinal: throughput and scaling tracked across graphs, DPU counts, and
+kernel variants over many hardware runs.  This module gives the repro the
+same longitudinal memory:
+
+* :class:`RunHistory` — an append-only, stdlib-``sqlite3``-backed store that
+  ingests :class:`~repro.telemetry.export.RunReport` documents
+  (``repro-run-report/1`` and ``/2``) and every ``BENCH_*.json`` artifact
+  (``repro-bench-*``) into queryable tables: one ``runs`` row per observed
+  run, its per-phase simulated/wall seconds in ``phases``, and every numeric
+  quantity (counts, clocks, throughput, imbalance skew columns, peak bytes)
+  flattened into the ``samples`` table under a dotted metric name.  The raw
+  source document is kept verbatim, so ingestion is lossless and
+  round-trippable.
+* :func:`detect_trends` — a rolling-window drift detector: for each
+  ``(graph, metric)`` series it compares the latest sample against the
+  **median of the previous N** samples, classifying drift with the same
+  severity model as the point gate (simulated clocks / counts / skew ratios
+  hard, wall-clock warn-only).  Until a series has accumulated ``min_runs``
+  samples, hard verdicts are downgraded to warnings — a young history cannot
+  brick CI.  This is what catches *slow* regressions: degree partitioning
+  and MG remapping shift skew run-over-run in steps a 5% point diff never
+  sees, while the median-of-window baseline does.
+* ``repro-history`` — the CLI over the store: ``ingest`` / ``list`` /
+  ``show`` / ``compare`` / ``trend``.
+
+Everything here is observation-only by construction: the store consumes
+finished artifacts (or :class:`RunReport` objects built *after* a run) and
+never touches a pipeline, clock, or trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob as globlib
+import json
+import os
+import re
+import sqlite3
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..telemetry.export import ACCEPTED_RUN_REPORT_SCHEMAS
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "TREND_RULES",
+    "RunHistory",
+    "TrendRule",
+    "classify_metric",
+    "detect_trends",
+    "flatten_numeric",
+    "render_trend_summary",
+    "main",
+]
+
+#: Bumped when the table layout changes; stored in ``meta`` so a future
+#: migration can detect old stores instead of mis-reading them.
+HISTORY_SCHEMA_VERSION = 1
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id TEXT,
+    schema TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    graph TEXT NOT NULL,
+    source TEXT NOT NULL DEFAULT '',
+    ingested_at REAL NOT NULL,
+    kernel TEXT,
+    executor TEXT,
+    partitioner TEXT,
+    config TEXT NOT NULL DEFAULT '{}',
+    document TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS phases (
+    run_ref INTEGER NOT NULL REFERENCES runs(id),
+    phase TEXT NOT NULL,
+    sim_seconds REAL NOT NULL,
+    wall_seconds REAL
+);
+CREATE TABLE IF NOT EXISTS samples (
+    run_ref INTEGER NOT NULL REFERENCES runs(id),
+    name TEXT NOT NULL,
+    value REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_graph ON runs(graph, schema, id);
+CREATE INDEX IF NOT EXISTS idx_samples_name ON samples(name, run_ref);
+"""
+
+
+# ------------------------------------------------------------------ flattening
+def flatten_numeric(
+    record: dict, prefix: str = "", skip: tuple[str, ...] = ("spans",)
+) -> dict[str, float]:
+    """Flatten every numeric leaf of ``record`` under dotted metric names.
+
+    Booleans become 0.0/1.0 (so parity flags like ``counts_match`` are
+    trendable as exact metrics); metric-registry entries
+    (``{"kind": "counter", "value": ...}``) collapse to their value;
+    histogram entries contribute their ``sum`` and ``count``; lists and
+    the (huge, non-scalar) ``spans`` subtree are skipped.
+    """
+    out: dict[str, float] = {}
+    for key, value in record.items():
+        if key in skip:
+            continue
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            out[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, dict):
+            kind = value.get("kind")
+            if kind in ("counter", "gauge") and "value" in value:
+                out[name] = float(value["value"])
+            elif kind == "histogram" and "sum" in value and "count" in value:
+                out[f"{name}.sum"] = float(value["sum"])
+                out[f"{name}.count"] = float(value["count"])
+            else:
+                out.update(flatten_numeric(value, prefix=name, skip=skip))
+    return out
+
+
+def _phase_walls(spans: Any) -> dict[str, float]:
+    """Per-phase wall seconds from a report's top-level spans (may be empty)."""
+    if not isinstance(spans, dict):
+        return {}
+    walls: dict[str, float] = {}
+    for node in spans.get("spans") or []:
+        if isinstance(node, dict) and isinstance(
+            node.get("wall_seconds"), (int, float)
+        ):
+            name = str(node.get("name", ""))
+            walls[name] = walls.get(name, 0.0) + float(node["wall_seconds"])
+    return walls
+
+
+# ----------------------------------------------------------------------- store
+class RunHistory:
+    """Append-only sqlite-backed history of runs and benchmark records.
+
+    Usable as a context manager.  ``path`` may be ``":memory:"`` for tests;
+    real stores are single files safe to stash in a CI cache between runs.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.executescript(_TABLES)
+        self._db.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("history_schema_version", str(HISTORY_SCHEMA_VERSION)),
+        )
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "RunHistory":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- ingestion
+    def ingest(
+        self,
+        document: dict,
+        source: str = "",
+        ingested_at: float | None = None,
+    ) -> list[int]:
+        """Ingest one artifact; returns the new ``runs`` row ids.
+
+        Dispatches on the document's ``schema`` tag: run reports become one
+        row, ``BENCH_*`` artifacts one row per graph record.  Unknown
+        schemas raise ``ValueError`` (the store never guesses at shapes).
+        """
+        schema = document.get("schema")
+        stamp = time.time() if ingested_at is None else float(ingested_at)
+        if schema in ACCEPTED_RUN_REPORT_SCHEMAS:
+            return [self._ingest_report(document, schema, source, stamp)]
+        if isinstance(schema, str) and schema.startswith("repro-bench-"):
+            return self._ingest_bench(document, schema, source, stamp)
+        raise ValueError(f"cannot ingest schema {schema!r}")
+
+    def ingest_file(self, path: str, ingested_at: float | None = None) -> list[int]:
+        with open(path) as fh:
+            document = json.load(fh)
+        return self.ingest(
+            document, source=os.path.basename(path), ingested_at=ingested_at
+        )
+
+    def _insert_run(
+        self,
+        *,
+        run_id: str | None,
+        schema: str,
+        kind: str,
+        graph: str,
+        source: str,
+        stamp: float,
+        kernel: str | None,
+        executor: str | None,
+        partitioner: str | None,
+        config: dict,
+        document: dict,
+        phases: dict[str, float],
+        phase_walls: dict[str, float],
+        samples: dict[str, float],
+    ) -> int:
+        cur = self._db.execute(
+            "INSERT INTO runs (run_id, schema, kind, graph, source, ingested_at,"
+            " kernel, executor, partitioner, config, document)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id, schema, kind, graph, source, stamp,
+                kernel, executor, partitioner,
+                json.dumps(config, sort_keys=True),
+                json.dumps(document, sort_keys=True),
+            ),
+        )
+        ref = int(cur.lastrowid)
+        # Wall per phase is known for run reports (from the top-level spans);
+        # bench records carry one whole-run wall number in samples instead.
+        self._db.executemany(
+            "INSERT INTO phases (run_ref, phase, sim_seconds, wall_seconds)"
+            " VALUES (?, ?, ?, ?)",
+            [
+                (ref, phase, float(sim), phase_walls.get(phase))
+                for phase, sim in sorted(phases.items())
+            ],
+        )
+        self._db.executemany(
+            "INSERT INTO samples (run_ref, name, value) VALUES (?, ?, ?)",
+            [(ref, name, value) for name, value in sorted(samples.items())],
+        )
+        self._db.commit()
+        return ref
+
+    def _ingest_report(
+        self, document: dict, schema: str, source: str, stamp: float
+    ) -> int:
+        result = document.get("result") or {}
+        config = document.get("config") or {}
+        graph = (document.get("graph") or {}).get("name") or "<unknown>"
+        samples = flatten_numeric(result, prefix="result")
+        samples.update(
+            flatten_numeric(document.get("metrics") or {}, prefix="metrics")
+        )
+        imbalance = document.get("imbalance")
+        if isinstance(imbalance, dict):
+            samples.update(
+                flatten_numeric(
+                    imbalance.get("skew") or {}, prefix="imbalance.skew"
+                )
+            )
+        phase_walls = _phase_walls(document.get("spans"))
+        if phase_walls:
+            samples["wall_seconds"] = sum(phase_walls.values())
+        phases = {
+            k: float(v)
+            for k, v in (result.get("phases") or {}).items()
+            if isinstance(v, (int, float))
+        }
+        meta = result.get("meta") or {}
+        return self._insert_run(
+            run_id=document.get("run_id"),
+            schema=schema,
+            kind="report",
+            graph=graph,
+            source=source,
+            stamp=stamp,
+            kernel=config.get("kernel"),
+            executor=config.get("executor"),
+            partitioner=meta.get("partitioner") or config.get("partitioner"),
+            config=config,
+            document=document,
+            phases=phases,
+            phase_walls=phase_walls,
+            samples=samples,
+        )
+
+    def _ingest_bench(
+        self, document: dict, schema: str, source: str, stamp: float
+    ) -> list[int]:
+        refs: list[int] = []
+        config = {
+            k: document[k] for k in ("tier", "seed", "colors") if k in document
+        }
+        for record in document.get("runs", []) or []:
+            if not isinstance(record, dict):
+                continue
+            samples = flatten_numeric(record)
+            phases = {
+                k: float(v)
+                for k, v in (record.get("phases") or {}).items()
+                if isinstance(v, (int, float))
+            }
+            refs.append(
+                self._insert_run(
+                    run_id=None,
+                    schema=schema,
+                    kind="bench",
+                    graph=str(record.get("graph", "<unknown>")),
+                    source=source,
+                    stamp=stamp,
+                    kernel=None,
+                    executor=None,
+                    partitioner=None,
+                    config=config,
+                    document=record,
+                    phases=phases,
+                    phase_walls={},
+                    samples=samples,
+                )
+            )
+        return refs
+
+    # ---------------------------------------------------------------- queries
+    def runs(
+        self,
+        graph: str | None = None,
+        schema: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Run rows (oldest first), optionally filtered by graph/schema."""
+        query = (
+            "SELECT id, run_id, schema, kind, graph, source, ingested_at,"
+            " kernel, executor, partitioner FROM runs"
+        )
+        clauses, params = [], []
+        if graph is not None:
+            clauses.append("graph = ?")
+            params.append(graph)
+        if schema is not None:
+            clauses.append("schema = ?")
+            params.append(schema)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id"
+        rows = self._db.execute(query, params).fetchall()
+        if limit is not None:
+            rows = rows[-int(limit):]
+        keys = (
+            "id", "run_id", "schema", "kind", "graph", "source",
+            "ingested_at", "kernel", "executor", "partitioner",
+        )
+        return [dict(zip(keys, row)) for row in rows]
+
+    def run(self, ref: int) -> dict:
+        """Full record of one run: row + phases + samples + source document."""
+        row = self._db.execute(
+            "SELECT id, run_id, schema, kind, graph, source, ingested_at,"
+            " kernel, executor, partitioner, config, document"
+            " FROM runs WHERE id = ?",
+            (int(ref),),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no run with id {ref}")
+        keys = (
+            "id", "run_id", "schema", "kind", "graph", "source",
+            "ingested_at", "kernel", "executor", "partitioner",
+        )
+        record = dict(zip(keys, row[:10]))
+        record["config"] = json.loads(row[10])
+        record["document"] = json.loads(row[11])
+        record["phases"] = {
+            phase: {"sim_seconds": sim, "wall_seconds": wall}
+            for phase, sim, wall in self._db.execute(
+                "SELECT phase, sim_seconds, wall_seconds FROM phases"
+                " WHERE run_ref = ? ORDER BY phase",
+                (int(ref),),
+            )
+        }
+        record["samples"] = self.samples(ref)
+        return record
+
+    def samples(self, ref: int) -> dict[str, float]:
+        """The flattened numeric metrics of one run."""
+        return {
+            name: value
+            for name, value in self._db.execute(
+                "SELECT name, value FROM samples WHERE run_ref = ? ORDER BY name",
+                (int(ref),),
+            )
+        }
+
+    def series(
+        self, graph: str, metric: str, schema: str | None = None
+    ) -> list[tuple[int, float]]:
+        """``(run_ref, value)`` pairs of one metric over a graph's history."""
+        query = (
+            "SELECT s.run_ref, s.value FROM samples s JOIN runs r ON r.id ="
+            " s.run_ref WHERE r.graph = ? AND s.name = ?"
+        )
+        params: list = [graph, metric]
+        if schema is not None:
+            query += " AND r.schema = ?"
+            params.append(schema)
+        query += " ORDER BY s.run_ref"
+        return [(int(ref), float(v)) for ref, v in self._db.execute(query, params)]
+
+    def graphs(self, schema: str | None = None) -> list[str]:
+        query = "SELECT DISTINCT graph FROM runs"
+        params: list = []
+        if schema is not None:
+            query += " WHERE schema = ?"
+            params.append(schema)
+        return [g for (g,) in self._db.execute(query + " ORDER BY graph", params)]
+
+    def schemas(self) -> list[str]:
+        return [
+            s for (s,) in self._db.execute(
+                "SELECT DISTINCT schema FROM runs ORDER BY schema"
+            )
+        ]
+
+    def num_runs(self, graph: str | None = None, schema: str | None = None) -> int:
+        query = "SELECT COUNT(*) FROM runs"
+        clauses, params = [], []
+        if graph is not None:
+            clauses.append("graph = ?")
+            params.append(graph)
+        if schema is not None:
+            clauses.append("schema = ?")
+            params.append(schema)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        return int(self._db.execute(query, params).fetchone()[0])
+
+    def compare(self, ref_a: int, ref_b: int) -> dict:
+        """Metric-by-metric diff of two stored runs (shared metrics only)."""
+        a, b = self.run(ref_a), self.run(ref_b)
+        entries = []
+        shared = sorted(set(a["samples"]) & set(b["samples"]))
+        for name in shared:
+            va, vb = a["samples"][name], b["samples"][name]
+            rel = 0.0 if va == vb else (
+                (vb - va) / abs(va) if va != 0 else float("inf")
+            )
+            entries.append(
+                {"metric": name, "a": va, "b": vb, "rel_change": rel}
+            )
+        return {
+            "a": {k: a[k] for k in ("id", "graph", "schema", "source")},
+            "b": {k: b[k] for k in ("id", "graph", "schema", "source")},
+            "entries": entries,
+        }
+
+
+# ----------------------------------------------------------------- trend gate
+@dataclass(frozen=True)
+class TrendRule:
+    """Classification of one metric-name pattern for the trend detector."""
+
+    pattern: re.Pattern
+    #: "higher_worse" | "lower_worse" | "exact"
+    direction: str
+    #: "hard" fails the gate, "warn" only prints.
+    severity: str
+
+
+#: First match wins.  The same severity philosophy as ``tools/bench_diff.py``:
+#: anything on the simulated clock (phases, seconds, skew ratios, peak bytes)
+#: is engine-invariant and therefore hard; triangle counts and parity flags
+#: are exact; wall-clock and speedup columns are honest timings and only
+#: warn.  Metrics matching no rule are stored but not gated.
+TREND_RULES: tuple[TrendRule, ...] = (
+    TrendRule(re.compile(r"(^|\.)counts_match"), "exact", "hard"),
+    TrendRule(re.compile(r"(^|\.)simulated_identical$"), "exact", "hard"),
+    TrendRule(re.compile(r"(^|\.)count(_monolithic|_batched)?$"), "exact", "hard"),
+    TrendRule(re.compile(r"(^|\.)estimate$"), "exact", "hard"),
+    TrendRule(re.compile(r"(^|\.)phases\."), "higher_worse", "hard"),
+    TrendRule(re.compile(r"wall_seconds"), "higher_worse", "warn"),
+    TrendRule(re.compile(r"(^|\.)speedup"), "lower_worse", "warn"),
+    TrendRule(re.compile(r"throughput"), "lower_worse", "hard"),
+    TrendRule(
+        re.compile(r"(max_over_mean|p99_over_p50|\.cv)$"), "higher_worse", "hard"
+    ),
+    TrendRule(re.compile(r"(^|\.)load_balance$"), "higher_worse", "hard"),
+    TrendRule(re.compile(r"peak_routed_bytes"), "higher_worse", "hard"),
+    TrendRule(
+        re.compile(r"(total|sample|sim)_seconds(_batched|_monolithic)?$"),
+        "higher_worse",
+        "hard",
+    ),
+    TrendRule(re.compile(r"kernel_(instructions|dma_\w+)$"), "higher_worse", "hard"),
+    TrendRule(re.compile(r"overlap_saved_seconds"), "lower_worse", "warn"),
+)
+
+
+def classify_metric(name: str) -> TrendRule | None:
+    """The first :data:`TREND_RULES` entry matching ``name`` (None: ungated)."""
+    for rule in TREND_RULES:
+        if rule.pattern.search(name):
+            return rule
+    return None
+
+
+def detect_trends(
+    history: RunHistory,
+    graph: str | None = None,
+    schema: str | None = None,
+    window: int = 5,
+    threshold: float = 0.05,
+    min_runs: int = 5,
+) -> dict:
+    """Rolling-window drift check over every gated ``(graph, metric)`` series.
+
+    For each series the latest sample is compared against the **median of
+    the previous** ``window`` samples (fewer when the history is younger).
+    Relative drift beyond ``threshold`` in the bad direction is a
+    regression; for ``exact`` metrics any deviation from the median is.
+    While a series holds fewer than ``min_runs`` samples, hard verdicts are
+    downgraded to warnings — the gate stays warn-only until the history has
+    accumulated enough runs to trust the median.
+
+    Returns a ``repro-history-trend/1`` summary document mirroring the
+    point-diff summary: ``entries`` (one per evaluated series), ``failures``,
+    ``warnings``, and the overall ``failed`` flag.
+    """
+    entries: list[dict] = []
+    failures: list[str] = []
+    warnings: list[str] = []
+    schemas = [schema] if schema is not None else history.schemas()
+    for sch in schemas:
+        for g in history.graphs(schema=sch):
+            if graph is not None and g != graph:
+                continue
+            seen_metrics = sorted(
+                {
+                    name
+                    for ref in (r["id"] for r in history.runs(graph=g, schema=sch))
+                    for name in history.samples(ref)
+                }
+            )
+            for metric in seen_metrics:
+                rule = classify_metric(metric)
+                if rule is None:
+                    continue
+                series = [v for _, v in history.series(g, metric, schema=sch)]
+                if len(series) < 2:
+                    continue
+                latest = series[-1]
+                baseline_window = series[max(0, len(series) - 1 - window):-1]
+                median = statistics.median(baseline_window)
+                if rule.direction == "exact":
+                    drifted = latest != median
+                    rel = 0.0 if not drifted else (
+                        (latest - median) / abs(median) if median else float("inf")
+                    )
+                else:
+                    rel = 0.0 if median == latest else (
+                        (latest - median) / abs(median) if median else float("inf")
+                    )
+                    bad = rel if rule.direction == "higher_worse" else -rel
+                    drifted = bad > threshold
+                verdict = "ok"
+                if drifted:
+                    severity = rule.severity
+                    if len(series) < min_runs:
+                        severity = "warn"
+                    verdict = "regression" if severity == "hard" else "warn"
+                entry = {
+                    "graph": g,
+                    "schema": sch,
+                    "metric": metric,
+                    "runs": len(series),
+                    "median": median,
+                    "latest": latest,
+                    "rel_change": rel,
+                    "direction": rule.direction,
+                    "severity": rule.severity,
+                    "verdict": verdict,
+                }
+                entries.append(entry)
+                line = (
+                    f"{g}.{metric}: median({len(baseline_window)})="
+                    f"{median:g} -> {latest:g} ({rel:+.1%})"
+                )
+                if verdict == "regression":
+                    failures.append(line)
+                elif verdict == "warn":
+                    warnings.append(line)
+    return {
+        "schema": "repro-history-trend/1",
+        "window": window,
+        "threshold": threshold,
+        "min_runs": min_runs,
+        "entries": entries,
+        "failures": failures,
+        "warnings": warnings,
+        "failed": bool(failures),
+    }
+
+
+def render_trend_summary(summary: dict) -> str:
+    """Human-readable trend verdict for CI logs."""
+    lines = [
+        f"trend gate (window {summary['window']}, threshold "
+        f"{summary['threshold']:.0%}, warn-only below {summary['min_runs']} runs):"
+    ]
+    flagged = [e for e in summary["entries"] if e["verdict"] != "ok"]
+    for e in flagged:
+        lines.append(
+            f"  [{e['verdict']:<10}] {e['graph']}.{e['metric']}: "
+            f"median {e['median']:g} -> {e['latest']:g} "
+            f"({e['rel_change']:+.1%}, {e['runs']} runs)"
+        )
+    ok = sum(1 for e in summary["entries"] if e["verdict"] == "ok")
+    lines.append(
+        f"  {len(summary['entries'])} series: {ok} ok, "
+        f"{len(summary['warnings'])} warnings, "
+        f"{len(summary['failures'])} hard failures"
+    )
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------------ CLI
+def _expand(patterns: Iterable[str]) -> list[str]:
+    paths: list[str] = []
+    for pattern in patterns:
+        hits = sorted(globlib.glob(pattern))
+        paths.extend(hits if hits else [pattern])
+    return paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-history",
+        description="Query and gate the append-only run-history store "
+        "(see docs/observability.md §7).",
+    )
+    parser.add_argument("db", help="history database file (created on demand)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="ingest RunReport / BENCH_*.json artifacts (globs ok)"
+    )
+    p_ingest.add_argument("artifacts", nargs="+", help="file paths or globs")
+
+    p_list = sub.add_parser("list", help="list stored runs")
+    p_list.add_argument("--graph", default=None)
+    p_list.add_argument("--schema", default=None)
+    p_list.add_argument("--limit", type=int, default=None)
+
+    p_show = sub.add_parser("show", help="full record of one run")
+    p_show.add_argument("ref", type=int, help="run id from 'list'")
+
+    p_compare = sub.add_parser("compare", help="metric diff of two stored runs")
+    p_compare.add_argument("ref_a", type=int)
+    p_compare.add_argument("ref_b", type=int)
+
+    p_trend = sub.add_parser(
+        "trend", help="rolling-window drift check; exit 1 on hard regression"
+    )
+    p_trend.add_argument("--graph", default=None)
+    p_trend.add_argument("--schema", default=None)
+    p_trend.add_argument("--window", type=int, default=5,
+                         help="median window size (default 5)")
+    p_trend.add_argument("--threshold", type=float, default=0.05,
+                         help="relative drift tolerance (default 5%%)")
+    p_trend.add_argument("--min-runs", type=int, default=5,
+                         help="series shorter than this only warn (default 5)")
+    p_trend.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON trend summary (CI artifact)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with RunHistory(args.db) as history:
+        if args.command == "ingest":
+            total = 0
+            for path in _expand(args.artifacts):
+                refs = history.ingest_file(path)
+                total += len(refs)
+                print(f"{path}: ingested {len(refs)} run(s) -> ids {refs}")
+            print(f"{args.db}: {history.num_runs()} runs total (+{total})")
+            return 0
+        if args.command == "list":
+            rows = history.runs(
+                graph=args.graph, schema=args.schema, limit=args.limit
+            )
+            print(f"{'id':>5} {'graph':<14} {'schema':<26} {'kind':<7} source")
+            for row in rows:
+                print(
+                    f"{row['id']:>5} {row['graph']:<14} {row['schema']:<26} "
+                    f"{row['kind']:<7} {row['source']}"
+                )
+            print(f"{len(rows)} run(s)")
+            return 0
+        if args.command == "show":
+            record = history.run(args.ref)
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        if args.command == "compare":
+            diff = history.compare(args.ref_a, args.ref_b)
+            print(
+                f"comparing run {diff['a']['id']} ({diff['a']['source']}) vs "
+                f"run {diff['b']['id']} ({diff['b']['source']}) on "
+                f"{diff['a']['graph']}:"
+            )
+            for e in diff["entries"]:
+                marker = "" if e["a"] == e["b"] else "  *"
+                print(
+                    f"  {e['metric']:<44} {e['a']:>14g} {e['b']:>14g} "
+                    f"({e['rel_change']:+.1%}){marker}"
+                )
+            return 0
+        # trend
+        summary = detect_trends(
+            history,
+            graph=args.graph,
+            schema=args.schema,
+            window=args.window,
+            threshold=args.threshold,
+            min_runs=args.min_runs,
+        )
+        print(render_trend_summary(summary))
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"trend summary written to {args.out}")
+        return 1 if summary["failed"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

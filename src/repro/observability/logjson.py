@@ -12,8 +12,16 @@ Event vocabulary (the ``event`` field):
 * ``span_start`` / ``span_end`` — one pair per telemetry span, including
   the paper's three phases (``path`` of depth 1) and, on the batched-ingest
   path, the per-chunk ``batch[k]`` spans (batch progress);
+* ``heartbeat`` — live progress of the batched ingest loop (chunk index,
+  edges streamed/kept, peak routed bytes, and the ETA extrapolated from the
+  :class:`~repro.core.ingest.DoubleBufferSchedule` recurrence);
 * ``estimate`` — the final triangle estimate with the phase ledger;
-* ``run_end`` — exit status and total wall seconds.
+* ``run_end`` — terminal event carrying the exit ``status`` (``"ok"`` or
+  ``"error"`` with the exception type/message).  Streams are
+  **join-complete**: the CLI emits ``run_end`` even when the pipeline
+  raises, so consumers (``repro-watch``, the history ingester) can
+  distinguish a crashed run from one still in flight by this line's
+  presence alone (:func:`stream_status`).
 
 Timestamps (``ts``) are wall-clock seconds since the Unix epoch; ``sim``
 fields are simulated seconds from the cost model.  The logger only ever
@@ -29,7 +37,14 @@ import time
 import uuid
 from typing import IO, Any
 
-__all__ = ["NdjsonLogger", "new_run_id"]
+__all__ = [
+    "NDJSON_EVENT_FIELDS",
+    "NdjsonLogger",
+    "load_ndjson",
+    "new_run_id",
+    "stream_status",
+    "validate_ndjson_events",
+]
 
 
 def new_run_id() -> str:
@@ -89,3 +104,109 @@ def _jsonify(value: Any):
     if hasattr(value, "tolist"):
         return value.tolist()
     return str(value)
+
+
+# ------------------------------------------------------------- event schema
+#: Required fields per event type, beyond the envelope every line carries
+#: (``ts``, ``run_id``, ``event``).  This is the NDJSON analogue of
+#: :func:`repro.telemetry.export.validate_run_report` — dependency-free and
+#: strict about the vocabulary, so external consumers (and ``repro-watch``)
+#: can reject malformed or foreign streams.
+NDJSON_EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    "run_start": ("graph",),
+    "span_start": ("path",),
+    "span_end": ("path", "wall_seconds", "sim_seconds"),
+    "heartbeat": (
+        "batch",
+        "batches_total",
+        "edges_streamed",
+        "peak_routed_bytes",
+        "eta_sim_seconds",
+    ),
+    "estimate": ("estimate",),
+    "run_end": ("status",),
+}
+
+
+def load_ndjson(path: str | os.PathLike) -> list[dict]:
+    """Parse an NDJSON file into records, tolerating a partial final line.
+
+    A stream being tailed mid-run may end in a half-written line; that line
+    (and only that line) is skipped.  A malformed line elsewhere raises —
+    the file is corrupt, not in flight.
+    """
+    records: list[dict] = []
+    with open(os.fspath(path)) as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # in-flight partial write
+            raise
+    return records
+
+
+def validate_ndjson_events(records: list[dict]) -> list[str]:
+    """Structural check of an NDJSON event stream; one error per violation.
+
+    Checks the envelope (``ts``/``run_id``/``event``), the per-event
+    required fields of :data:`NDJSON_EVENT_FIELDS`, that every line shares
+    one ``run_id``, and that nothing follows the terminal ``run_end``.
+    An *absent* ``run_end`` is not an error — the stream may be in flight;
+    use :func:`stream_status` to distinguish.
+    """
+    errors: list[str] = []
+    run_ids = set()
+    ended_at: int | None = None
+    for i, record in enumerate(records):
+        where = f"line {i + 1}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        if not isinstance(record.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if not isinstance(record.get("run_id"), str):
+            errors.append(f"{where}: missing string 'run_id'")
+        else:
+            run_ids.add(record["run_id"])
+        event = record.get("event")
+        if not isinstance(event, str):
+            errors.append(f"{where}: missing string 'event'")
+            continue
+        if event not in NDJSON_EVENT_FIELDS:
+            errors.append(f"{where}: unknown event {event!r}")
+            continue
+        for field in NDJSON_EVENT_FIELDS[event]:
+            if field not in record:
+                errors.append(f"{where}: {event} missing {field!r}")
+        if ended_at is not None:
+            errors.append(
+                f"{where}: event after terminal run_end (line {ended_at + 1})"
+            )
+        if event == "run_end":
+            ended_at = i
+    if len(run_ids) > 1:
+        errors.append(f"stream mixes {len(run_ids)} run_ids: {sorted(run_ids)}")
+    return errors
+
+
+def stream_status(records: list[dict]) -> str:
+    """Terminal status of a stream: ``ok`` / ``error`` / ``in-flight`` / ``empty``.
+
+    Join-completeness is what makes this decidable: every run writes a
+    terminal ``run_end`` carrying its exit status — including the exception
+    path out of :class:`~repro.core.host.PimTcPipeline` — so a stream
+    without one is *still running* (or was killed hard), never silently
+    finished.
+    """
+    if not records:
+        return "empty"
+    for record in reversed(records):
+        if isinstance(record, dict) and record.get("event") == "run_end":
+            status = record.get("status")
+            return "ok" if status == "ok" else "error"
+    return "in-flight"

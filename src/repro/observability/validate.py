@@ -1,0 +1,101 @@
+"""``repro-validate`` — schema checks for run artifacts (reports + NDJSON).
+
+One command validates everything a run can leave behind:
+
+* ``*.json`` — :class:`~repro.telemetry.export.RunReport` documents, checked
+  with :func:`~repro.telemetry.export.validate_run_report` (accepts schema
+  v1 and v2);
+* ``*.ndjson`` — NDJSON event streams, checked with
+  :func:`~repro.observability.logjson.validate_ndjson_events` (envelope,
+  event vocabulary, join-completeness ordering).
+
+Accepts files and globs; exits non-zero if any input fails, printing one
+line per violation — the shape CI wants::
+
+    repro-validate report.json run.ndjson
+    repro-validate 'artifacts/*.json' 'artifacts/*.ndjson'
+    repro-validate run.ndjson --require-complete   # in-flight = failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob as globlib
+import json
+import sys
+
+from .logjson import load_ndjson, stream_status, validate_ndjson_events
+
+__all__ = ["main", "validate_path"]
+
+
+def validate_path(path: str, require_complete: bool = False) -> list[str]:
+    """Validate one artifact file; returns error strings (empty == valid).
+
+    Dispatch is by suffix: ``.ndjson`` streams get the event-schema check,
+    everything else is parsed as a JSON document and checked as a
+    :class:`RunReport`.  ``require_complete`` additionally rejects NDJSON
+    streams with no terminal ``run_end`` (useful in CI, where an in-flight
+    stream means the producing run died without its join-complete line).
+    """
+    if path.endswith(".ndjson"):
+        try:
+            records = load_ndjson(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable NDJSON: {exc}"]
+        errors = validate_ndjson_events(records)
+        if require_complete and stream_status(records) in ("in-flight", "empty"):
+            errors.append("stream has no terminal run_end event")
+        return errors
+    try:
+        with open(path) as fh:
+            document = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable JSON: {exc}"]
+    from ..telemetry import validate_run_report
+
+    return validate_run_report(document)
+
+
+def _expand(patterns: list[str]) -> list[str]:
+    paths: list[str] = []
+    for pattern in patterns:
+        matches = sorted(globlib.glob(pattern))
+        paths.extend(matches if matches else [pattern])
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-validate",
+        description="Validate RunReport JSON documents and NDJSON event "
+        "streams against their schemas.",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="artifact files or globs (.json reports, "
+                             ".ndjson event streams)")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="fail NDJSON streams that lack the terminal "
+                             "run_end event (default: in-flight is valid)")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="print only failing files")
+    args = parser.parse_args(argv)
+
+    failed = 0
+    paths = _expand(args.paths)
+    for path in paths:
+        errors = validate_path(path, require_complete=args.require_complete)
+        if errors:
+            failed += 1
+            print(f"FAIL {path}")
+            for error in errors:
+                print(f"  {error}")
+        elif not args.quiet:
+            print(f"ok   {path}")
+    if failed:
+        print(f"{failed}/{len(paths)} artifacts invalid", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

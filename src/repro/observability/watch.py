@@ -1,0 +1,162 @@
+"""``repro-watch`` — live terminal monitor for a run's NDJSON event stream.
+
+A long chunked ingest (``repro-count … --batch-edges B --log-json run.ndjson``)
+used to be a black box until it finished.  The batched ingest loop now emits
+``heartbeat`` events (chunk index, edges streamed, peak routed bytes, and the
+ETA extrapolated from the double-buffer recurrence), and this tool renders
+them: point it at the NDJSON file of a running — or finished, or crashed —
+run and it prints a progress view, optionally following the file like
+``tail -f`` until the terminal ``run_end`` event lands.
+
+Because streams are join-complete (every run writes ``run_end`` with its
+exit status, even on the exception path), the watcher can tell a crashed
+run (``run_end`` with ``status="error"``) from one still in flight (no
+``run_end`` yet) without guessing from timestamps.
+
+Usage::
+
+    repro-watch run.ndjson                # one-shot summary
+    repro-watch run.ndjson --follow       # poll until run_end (or --timeout)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .logjson import load_ndjson, stream_status, validate_ndjson_events
+
+__all__ = ["main", "render_stream", "summarize_stream"]
+
+
+def summarize_stream(records: list[dict]) -> dict:
+    """Fold an event stream into the latest-known view of the run."""
+    view: dict = {
+        "status": stream_status(records),
+        "run_id": None,
+        "graph": None,
+        "num_edges": None,
+        "heartbeat": None,
+        "last_span": None,
+        "spans_ended": 0,
+        "estimates": [],
+        "error": None,
+        "last_ts": None,
+        "first_ts": None,
+    }
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        event = record.get("event")
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            view["last_ts"] = float(ts)
+            if view["first_ts"] is None:
+                view["first_ts"] = float(ts)
+        if view["run_id"] is None and isinstance(record.get("run_id"), str):
+            view["run_id"] = record["run_id"]
+        if event == "run_start":
+            view["graph"] = record.get("graph")
+            view["num_edges"] = record.get("num_edges")
+        elif event == "heartbeat":
+            view["heartbeat"] = record
+        elif event == "span_start":
+            view["last_span"] = record.get("path")
+        elif event == "span_end":
+            view["spans_ended"] += 1
+        elif event == "estimate":
+            view["estimates"].append(record.get("estimate"))
+        elif event == "run_end":
+            if record.get("status") != "ok":
+                view["error"] = record.get("error") or record.get("message")
+    return view
+
+
+def _bar(done: int, total: int, width: int = 24) -> str:
+    total = max(1, int(total))
+    filled = round(width * min(int(done), total) / total)
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_stream(records: list[dict], now: float | None = None) -> str:
+    """Multi-line progress view of one stream (the ``repro-watch`` body)."""
+    view = summarize_stream(records)
+    if view["status"] == "empty":
+        return "(no events yet)"
+    head = f"run {view['run_id'] or '<no id>'}"
+    if view["graph"]:
+        head += f" — {view['graph']}"
+        if view["num_edges"] is not None:
+            head += f" ({view['num_edges']} edges)"
+    lines = [head]
+    hb = view["heartbeat"]
+    if hb is not None:
+        done = int(hb.get("batch", 0)) + 1
+        total = int(hb.get("batches_total", done))
+        eta = float(hb.get("eta_sim_seconds", 0.0))
+        lines.append(
+            f"  {_bar(done, total)} batch {done}/{total}  "
+            f"edges {hb.get('edges_streamed', '?')}/{hb.get('edges_total', '?')}  "
+            f"peak routed {int(hb.get('peak_routed_bytes', 0)):,} B  "
+            f"ETA {eta * 1e3:.3f}ms sim"
+        )
+    if view["last_span"] and view["status"] == "in-flight":
+        lines.append(f"  in span: {view['last_span']}")
+    for estimate in view["estimates"]:
+        lines.append(f"  estimate: {estimate:g}")
+    if view["status"] == "ok":
+        lines.append(f"  status: completed ok ({view['spans_ended']} spans)")
+    elif view["status"] == "error":
+        lines.append(f"  status: CRASHED — {view['error'] or 'unknown error'}")
+    else:
+        age = ""
+        if now is not None and view["last_ts"] is not None:
+            age = f" (last event {max(0.0, now - view['last_ts']):.1f}s ago)"
+        lines.append(f"  status: in flight{age}")
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-watch",
+        description="Render (and optionally follow) a run's NDJSON event "
+        "stream written by repro-count --log-json.",
+    )
+    parser.add_argument("path", help="NDJSON event log of one run")
+    parser.add_argument("--follow", "-f", action="store_true",
+                        help="poll the file until the terminal run_end event "
+                             "(crashed runs end the watch too)")
+    parser.add_argument("--interval", type=float, default=0.5, metavar="S",
+                        help="polling interval with --follow (default 0.5s)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up following after S seconds (exit 2)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also run the NDJSON event-schema check and "
+                             "fail on violations")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    while True:
+        records = load_ndjson(args.path)
+        if args.validate:
+            errors = validate_ndjson_events(records)
+            if errors:
+                for error in errors:
+                    print(f"invalid: {error}", file=sys.stderr)
+                return 1
+        status = stream_status(records)
+        print(render_stream(records, now=time.time()))
+        if not args.follow or status in ("ok", "error"):
+            return 0 if status != "error" else 1
+        if deadline is not None and time.monotonic() >= deadline:
+            print("watch timed out before run_end", file=sys.stderr)
+            return 2
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .export import (
     validate_run_report,
     write_chrome_trace,
 )
+from .flamegraph import collapsed_stacks, flamegraph_svg, write_flamegraph
 from .metrics import (
     DEFAULT_FRACTION_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
@@ -65,4 +66,7 @@ __all__ = [
     "metrics_to_csv",
     "render_profile",
     "validate_run_report",
+    "collapsed_stacks",
+    "flamegraph_svg",
+    "write_flamegraph",
 ]

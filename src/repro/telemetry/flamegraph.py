@@ -1,0 +1,193 @@
+"""Flamegraph export of the telemetry span tree (collapsed stacks + SVG).
+
+The ``--profile`` table answers "which span is hot"; a flamegraph answers
+"which *path* is hot" — the classic visualization where each frame's width
+is the time spent on that call path.  Two outputs, both dependency-free:
+
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack text format,
+  one ``path;to;frame <value>`` line per span path carrying **self** time,
+  consumable by ``flamegraph.pl`` / speedscope / inferno;
+* :func:`flamegraph_svg` — a standalone SVG (embedded hover titles, no
+  JavaScript or external assets) rendered directly from the same
+  aggregation, for environments without those tools.
+
+The ``axis`` parameter picks the clock the widths measure:
+
+* ``"sim"`` — simulated seconds from the cost model.  Deterministic: the
+  same run configuration renders the same flamegraph bit-for-bit on any
+  machine and under any executor (the parity contract), so sim flamegraphs
+  diff cleanly across commits.
+* ``"wall"`` — honest host wall-clock, for finding where the *simulator*
+  spends its time.
+
+Values are exported as integer microseconds (the collapsed format wants
+integers; at μs resolution nothing the cost model produces rounds to zero).
+
+Aggregation: spans with the same path (e.g. the per-DPU ``dpu[i]`` detail
+spans across batches, or repeated phases over ``--trials``) merge into one
+frame, like stack samples with identical call chains.  Self time is clamped
+at zero — concurrent children (per-DPU spans under one launch) can sum past
+their parent, exactly as in :attr:`Span.sim_self_seconds`.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spans import Telemetry
+
+__all__ = ["collapsed_stacks", "flamegraph_svg", "write_flamegraph"]
+
+_AXES = ("sim", "wall")
+
+
+def _span_seconds(span, axis: str) -> float:
+    return span.sim_seconds if axis == "sim" else span.wall_seconds
+
+
+def _aggregate(telemetry: "Telemetry", axis: str) -> dict[str, tuple[float, float]]:
+    """Map ``path -> (total_seconds, self_seconds)``, merged over same paths."""
+    if axis not in _AXES:
+        raise ValueError(f"axis must be one of {_AXES}, got {axis!r}")
+    agg: dict[str, tuple[float, float]] = {}
+    for top in telemetry.root.children:
+        for span in top.walk():
+            total = _span_seconds(span, axis)
+            child_sum = sum(_span_seconds(c, axis) for c in span.children)
+            self_sec = max(0.0, total - child_sum)
+            prev_total, prev_self = agg.get(span.path, (0.0, 0.0))
+            agg[span.path] = (prev_total + total, prev_self + self_sec)
+    return agg
+
+
+def collapsed_stacks(telemetry: "Telemetry", axis: str = "sim") -> str:
+    """Collapsed-stack text: one ``a;b;c <int_microseconds>`` line per path.
+
+    Each line carries the path's *self* time (flamegraph tooling re-derives
+    totals by summing descendants).  Lines are sorted by path so the output
+    is stable and diffs cleanly.  Paths use ``;`` as the frame separator —
+    span names never contain it (they use ``/`` internally, translated
+    here).
+    """
+    agg = _aggregate(telemetry, axis)
+    lines = []
+    for path in sorted(agg):
+        _, self_sec = agg[path]
+        micros = round(self_sec * 1e6)
+        if micros <= 0 and self_sec <= 0.0:
+            # Pure-container frames (zero self time) still matter for shape,
+            # but the collapsed format infers them from their children; only
+            # emit frames that carry weight.
+            continue
+        lines.append(f"{path.replace('/', ';')} {max(1, micros)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------- SVG
+_FRAME_H = 18
+_PALETTE = (
+    "#e5734a", "#e08a3c", "#d9a441", "#c8b44a",
+    "#e0633c", "#d97b41", "#c86a4a", "#e09a50",
+)
+
+
+def _color(path: str) -> str:
+    # Stable per-path hue (hash the path, not Python's salted hash()).
+    h = 0
+    for ch in path:
+        h = (h * 131 + ord(ch)) % 1_000_003
+    return _PALETTE[h % len(_PALETTE)]
+
+
+def flamegraph_svg(
+    telemetry: "Telemetry",
+    axis: str = "sim",
+    width: int = 1200,
+    title: str | None = None,
+) -> str:
+    """Standalone flamegraph SVG of the span tree (no external assets).
+
+    Frames are laid out icicle-style (root row on top); each ``<rect>``
+    carries a ``<title>`` tooltip with the path, its seconds on the chosen
+    clock, and its share of the root total.  Sibling frames are ordered by
+    span order, so the sim-axis SVG is deterministic end to end.
+    """
+    if axis not in _AXES:
+        raise ValueError(f"axis must be one of {_AXES}, got {axis!r}")
+
+    # Merge same-path top-level spans (repeated trials) into one virtual
+    # root layout pass; children keep their order of first appearance.
+    def children_of(spans):
+        merged: dict[str, list] = {}
+        order: list[str] = []
+        for span in spans:
+            if span.path not in merged:
+                merged[span.path] = []
+                order.append(span.path)
+            merged[span.path].append(span)
+        return [(path, merged[path]) for path in order]
+
+    total = sum(_span_seconds(s, axis) for s in telemetry.root.children)
+    rows: list[list[tuple[str, float, float]]] = []  # depth -> (path, x0, dx)
+
+    def layout(spans_by_path, x0: float, depth: int) -> None:
+        if depth >= len(rows):
+            rows.append([])
+        x = x0
+        for path, spans in spans_by_path:
+            seconds = sum(_span_seconds(s, axis) for s in spans)
+            if seconds <= 0:
+                continue
+            rows[depth].append((path, x, seconds))
+            layout(children_of([c for s in spans for c in s.children]), x, depth + 1)
+            x += seconds
+
+    layout(children_of(telemetry.root.children), 0.0, 0)
+
+    label = title or f"{axis} flamegraph"
+    height = (len(rows) + 2) * _FRAME_H + 8
+    scale = (width - 2) / total if total > 0 else 0.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="#fdf6ec"/>',
+        f'<text x="{width / 2:.0f}" y="{_FRAME_H - 4}" text-anchor="middle" '
+        f'font-size="13">{html.escape(label)} '
+        f"(total {total:.6g}s {axis})</text>",
+    ]
+    for depth, frames in enumerate(rows):
+        y = (depth + 1) * _FRAME_H + 4
+        for path, x0, seconds in frames:
+            x = 1 + x0 * scale
+            w = max(seconds * scale, 0.5)
+            name = path.rsplit("/", 1)[-1] or path
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            tooltip = f"{path} — {seconds:.6g}s {axis} ({share:.1f}%)"
+            parts.append(
+                f'<g><rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{_FRAME_H - 2}" fill="{_color(path)}" '
+                f'stroke="#fdf6ec" stroke-width="0.5">'
+                f"<title>{html.escape(tooltip)}</title></rect>"
+            )
+            # Only label frames wide enough to hold a few characters.
+            if w > 7 * min(len(name), 4):
+                shown = name if w > 7 * len(name) else name[: max(1, int(w / 7)) ]
+                parts.append(
+                    f'<text x="{x + 3:.2f}" y="{y + _FRAME_H - 6}" '
+                    f'fill="#2b2b2b">{html.escape(shown)}</text>'
+                )
+            parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_flamegraph(path: str, telemetry: "Telemetry", axis: str = "sim") -> None:
+    """Write a flamegraph file; ``.svg`` suffix picks SVG, else collapsed text."""
+    if str(path).endswith(".svg"):
+        content = flamegraph_svg(telemetry, axis=axis)
+    else:
+        content = collapsed_stacks(telemetry, axis=axis)
+    with open(path, "w") as fh:
+        fh.write(content)

@@ -145,6 +145,18 @@ class Telemetry:
         #: durations).  Fed by ``repro-count --log-json``'s NDJSON logger;
         #: purely observational — it runs outside every simulated charge.
         self.log_sink = None
+        #: Optional free-form event hook ``(event_name, **fields)`` for
+        #: progress events that are not spans — the batched ingest loop's
+        #: ``heartbeat`` lines (chunk index, edges ingested, peak routed
+        #: bytes, ETA).  Same contract as ``log_sink``: observation only,
+        #: called from the parent process with engine-invariant fields, so
+        #: enabling it cannot change any simulated number.
+        self.event_sink = None
+
+    def emit_event(self, event: str, **fields) -> None:
+        """Forward one progress event to :attr:`event_sink` (no-op otherwise)."""
+        if self.enabled and self.event_sink is not None:
+            self.event_sink(event, **fields)
 
     # ------------------------------------------------------------------ spans
     def current(self) -> Span:

@@ -256,3 +256,67 @@ class TestCommittedBaselines:
         summary = bench_diff.diff_documents(doc, doc)
         assert summary["failed"] is False
         assert summary["entries"], f"{name}: gate compared no metrics"
+
+
+class TestHistoryTrendExtension:
+    """--history: the point gate extended to trajectory-vs-history."""
+
+    def test_current_run_is_appended_to_history(
+        self, bench_diff, telemetry_doc, tmp_path
+    ):
+        from repro.observability.history import RunHistory
+
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(telemetry_doc))
+        db = tmp_path / "history.db"
+        assert bench_diff.main([str(base), str(base), "--history", str(db)]) == 0
+        assert bench_diff.main([str(base), str(base), "--history", str(db)]) == 0
+        with RunHistory(db) as history:
+            assert history.num_runs() == 2 * len(telemetry_doc["runs"])
+
+    def test_trend_failure_fails_gate_even_when_point_diff_passes(
+        self, bench_diff, telemetry_doc, tmp_path
+    ):
+        """Slow drift: each run passes the point diff, the trajectory fails."""
+        from repro.observability.history import RunHistory
+
+        db = tmp_path / "history.db"
+        with RunHistory(db) as history:
+            for _ in range(6):
+                history.ingest(telemetry_doc, source="seeded")
+        drifted = copy.deepcopy(telemetry_doc)
+        for run in drifted["runs"]:
+            run["phases"]["triangle_count"] *= 1.20
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        # Point diff sees cur-vs-cur (clean); only the history knows better.
+        base.write_text(json.dumps(drifted))
+        cur.write_text(json.dumps(drifted))
+        out = tmp_path / "summary.json"
+        rc = bench_diff.main(
+            [str(base), str(cur), "--history", str(db), "--out", str(out)]
+        )
+        assert rc == 1
+        summary = json.loads(out.read_text())
+        assert summary["trend"]["failed"] is True
+        assert any(
+            "triangle_count" in line for line in summary["trend"]["failures"]
+        )
+
+    def test_young_history_stays_warn_only(
+        self, bench_diff, telemetry_doc, tmp_path
+    ):
+        from repro.observability.history import RunHistory
+
+        db = tmp_path / "history.db"
+        with RunHistory(db) as history:
+            history.ingest(telemetry_doc, source="seeded")
+        drifted = copy.deepcopy(telemetry_doc)
+        for run in drifted["runs"]:
+            run["phases"]["triangle_count"] *= 1.20
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(drifted))
+        rc = bench_diff.main(
+            [str(base), str(base), "--history", str(db), "--trend-min-runs", "5"]
+        )
+        assert rc == 0

@@ -1,0 +1,132 @@
+"""Flamegraph export: collapsed stacks, SVG rendering, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import PimTriangleCounter
+from repro.graph.generators import erdos_renyi
+from repro.telemetry import (
+    Telemetry,
+    collapsed_stacks,
+    flamegraph_svg,
+    write_flamegraph,
+)
+
+
+def run_telemetry(seed: int = 2) -> Telemetry:
+    rng = np.random.default_rng(5)
+    graph = erdos_renyi(100, 500, rng).canonicalize()
+    telemetry = Telemetry(detail=True)
+    PimTriangleCounter(num_colors=4, seed=seed, telemetry=telemetry).count(graph)
+    return telemetry
+
+
+@pytest.fixture(scope="module")
+def telemetry() -> Telemetry:
+    return run_telemetry()
+
+
+class TestCollapsedStacks:
+    def test_format_and_weights(self, telemetry):
+        text = collapsed_stacks(telemetry, axis="sim")
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert frames
+            assert int(value) >= 1
+        # Sorted by path => stable output.
+        assert lines == sorted(lines)
+
+    def test_phase_frames_present(self, telemetry):
+        text = collapsed_stacks(telemetry, axis="sim")
+        roots = {line.split(";")[0].split(" ")[0] for line in text.splitlines()}
+        assert {"setup", "sample_creation", "triangle_count"} <= roots
+
+    def test_sim_axis_is_deterministic(self):
+        a = collapsed_stacks(run_telemetry(), axis="sim")
+        b = collapsed_stacks(run_telemetry(), axis="sim")
+        assert a == b
+
+    def test_total_weight_matches_sim_clock(self):
+        # Without per-DPU detail spans the tree is strictly sequential, so
+        # self times partition the simulated total (up to rounding and the
+        # 1μs floor).  Detail spans model *concurrent* DPUs and can sum past
+        # their parent by design, so they are excluded here.
+        rng = np.random.default_rng(5)
+        graph = erdos_renyi(100, 500, rng).canonicalize()
+        tel = Telemetry(detail=False)
+        PimTriangleCounter(num_colors=4, seed=2, telemetry=tel).count(graph)
+        total_micros = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in collapsed_stacks(tel, axis="sim").splitlines()
+        )
+        sim_total = sum(tel.phase_totals().values())
+        assert total_micros == pytest.approx(sim_total * 1e6, rel=0.01, abs=50)
+
+    def test_wall_axis_accepted_bad_axis_rejected(self, telemetry):
+        assert collapsed_stacks(telemetry, axis="wall")
+        with pytest.raises(ValueError, match="axis"):
+            collapsed_stacks(telemetry, axis="cpu")
+
+    def test_empty_telemetry_yields_empty_output(self):
+        assert collapsed_stacks(Telemetry()) == ""
+
+
+class TestSvg:
+    def test_wellformed_and_labelled(self, telemetry):
+        svg = flamegraph_svg(telemetry, axis="sim")
+        assert svg.startswith("<svg ") and svg.rstrip().endswith("</svg>")
+        assert "sim flamegraph" in svg
+        assert "<title>" in svg
+        assert "setup" in svg
+
+    def test_parses_as_xml(self, telemetry):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(flamegraph_svg(telemetry, axis="sim"))
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) > 3
+
+    def test_sim_axis_svg_deterministic(self):
+        assert flamegraph_svg(run_telemetry(), axis="sim") == flamegraph_svg(
+            run_telemetry(), axis="sim"
+        )
+
+    def test_bad_axis_rejected(self, telemetry):
+        with pytest.raises(ValueError, match="axis"):
+            flamegraph_svg(telemetry, axis="nope")
+
+
+class TestWriteFlamegraph:
+    def test_suffix_dispatch(self, telemetry, tmp_path):
+        svg_path = tmp_path / "fg.svg"
+        txt_path = tmp_path / "fg.folded"
+        write_flamegraph(str(svg_path), telemetry, axis="sim")
+        write_flamegraph(str(txt_path), telemetry, axis="sim")
+        assert svg_path.read_text().startswith("<svg ")
+        first = txt_path.read_text().splitlines()[0]
+        assert first.rsplit(" ", 1)[1].isdigit()
+
+    def test_cli_flag_writes_flamegraph(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "run.svg"
+        assert cli_main(
+            [
+                "dataset:wikipedia", "--tier", "tiny", "--colors", "4",
+                "--flamegraph", str(out),
+            ]
+        ) == 0
+        assert out.read_text().startswith("<svg ")
+
+    def test_experiments_runner_flag(self, tmp_path):
+        from repro.experiments.runner import main as exp_main
+
+        out = tmp_path / "harness.folded"
+        assert exp_main(
+            ["tab1", "--tier", "tiny", "--flamegraph", str(out)]
+        ) == 0
+        assert "tab1" in out.read_text()

@@ -1,0 +1,93 @@
+"""``repro-validate`` — artifact schema checking over files and globs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import PimTriangleCounter
+from repro.graph.generators import erdos_renyi
+from repro.observability.validate import main as validate_main, validate_path
+from repro.telemetry import RunReport, Telemetry
+
+
+@pytest.fixture()
+def artifacts(tmp_path):
+    """One valid report, one valid (complete) stream, one in-flight stream."""
+    rng = np.random.default_rng(3)
+    graph = erdos_renyi(60, 250, rng).canonicalize()
+    telemetry = Telemetry()
+    result = PimTriangleCounter(num_colors=4, seed=1, telemetry=telemetry).count(graph)
+    report = tmp_path / "report.json"
+    RunReport.from_result(result, graph=graph).write_json(str(report))
+
+    complete = tmp_path / "complete.ndjson"
+    complete.write_text(
+        "\n".join(
+            json.dumps(r)
+            for r in [
+                {"ts": 1.0, "run_id": "r", "event": "run_start", "graph": "g"},
+                {"ts": 2.0, "run_id": "r", "event": "estimate", "estimate": 3.0},
+                {"ts": 3.0, "run_id": "r", "event": "run_end", "status": "ok"},
+            ]
+        )
+        + "\n"
+    )
+    in_flight = tmp_path / "inflight.ndjson"
+    in_flight.write_text(
+        json.dumps({"ts": 1.0, "run_id": "r", "event": "run_start", "graph": "g"})
+        + "\n"
+    )
+    return tmp_path, report, complete, in_flight
+
+
+class TestValidatePath:
+    def test_valid_report_and_stream(self, artifacts):
+        _, report, complete, _ = artifacts
+        assert validate_path(str(report)) == []
+        assert validate_path(str(complete)) == []
+
+    def test_invalid_report(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro-run-report/2"}))
+        errors = validate_path(str(bad))
+        assert any("missing or non-object section" in e for e in errors)
+
+    def test_unreadable_inputs(self, tmp_path):
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        assert any("unreadable" in e for e in validate_path(str(garbled)))
+        assert any("unreadable" in e for e in validate_path(str(tmp_path / "no.json")))
+
+    def test_require_complete_flags_in_flight(self, artifacts):
+        _, _, complete, in_flight = artifacts
+        assert validate_path(str(in_flight)) == []
+        errors = validate_path(str(in_flight), require_complete=True)
+        assert any("no terminal run_end" in e for e in errors)
+        assert validate_path(str(complete), require_complete=True) == []
+
+
+class TestValidateCli:
+    def test_all_valid_exits_zero(self, artifacts, capsys):
+        _, report, complete, _ = artifacts
+        assert validate_main([str(report), str(complete)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok  ") == 2
+
+    def test_glob_expansion_and_failure_exit(self, artifacts, capsys):
+        tmp_path, *_ = artifacts
+        bad = tmp_path / "broken.ndjson"
+        bad.write_text(
+            json.dumps({"ts": 1.0, "run_id": "r", "event": "telepathy"}) + "\n"
+        )
+        rc = validate_main([str(tmp_path / "*.ndjson"), "--require-complete"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "unknown event" in out
+
+    def test_quiet_prints_only_failures(self, artifacts, capsys):
+        _, report, complete, _ = artifacts
+        assert validate_main([str(report), str(complete), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""

@@ -28,6 +28,13 @@ Usage::
         BENCH_telemetry.json --out bench_diff_summary.json
     python tools/bench_diff.py baseline.json current.json --threshold 0.10
 
+``--history DB`` extends the gate from point-vs-baseline to
+trajectory-vs-history: the current artifact is appended to the
+:class:`repro.observability.history.RunHistory` store at ``DB`` and a
+rolling-window median drift check runs over the accumulated series
+(warn-only until ``--trend-min-runs`` runs exist; see
+``docs/observability.md`` §7).
+
 Supported schemas: ``repro-bench-telemetry/1``, ``repro-bench-ingest/1``,
 ``repro-bench-imbalance/1`` and ``/2`` (see ``benchmarks/bench_report.py``;
 v2 adds the degree-partitioner comparison columns), and
@@ -266,6 +273,19 @@ def main(argv: list[str] | None = None) -> int:
                              "metrics (default 0.05 = 5%%)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON diff summary (CI artifact)")
+    parser.add_argument("--history", default=None, metavar="DB",
+                        help="append the current artifact to this run-history "
+                             "store and extend the gate from point-vs-baseline "
+                             "to trajectory-vs-history: a rolling-window "
+                             "median drift check over the accumulated runs "
+                             "(see docs/observability.md §7)")
+    parser.add_argument("--trend-window", type=int, default=5, metavar="N",
+                        help="median window for the --history trend check "
+                             "(default 5)")
+    parser.add_argument("--trend-min-runs", type=int, default=5, metavar="N",
+                        help="with --history: series shorter than this only "
+                             "warn, so a young history cannot fail the gate "
+                             "(default 5)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -274,12 +294,32 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(fh)
     summary = diff_documents(baseline, current, threshold=args.threshold)
     print(render_summary(summary))
+    failed = summary["failed"]
+    if args.history:
+        from repro.observability.history import (
+            RunHistory,
+            detect_trends,
+            render_trend_summary,
+        )
+
+        with RunHistory(args.history) as history:
+            history.ingest(current, source=args.current)
+            trend = detect_trends(
+                history,
+                schema=current.get("schema"),
+                window=args.trend_window,
+                threshold=args.threshold,
+                min_runs=args.trend_min_runs,
+            )
+        print(render_trend_summary(trend))
+        summary["trend"] = trend
+        failed = failed or trend["failed"]
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"diff summary written to {args.out}")
-    return 1 if summary["failed"] else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
