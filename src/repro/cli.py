@@ -172,6 +172,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="clock the flamegraph widths measure: the "
                              "deterministic simulated clock (default) or the "
                              "host wall clock")
+    parser.add_argument("--serve-url", default=None, metavar="HOST:PORT",
+                        help="count via a running repro-serve instance "
+                             "instead of in-process: open a session, stream "
+                             "the graph as insert batches, print the exact "
+                             "count, close the session (see docs/service.md)")
+    parser.add_argument("--session", default=None, metavar="NAME",
+                        help="with --serve-url: session name to open "
+                             "(default: derived from the graph name)")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     parser.add_argument("--fuzz", type=int, default=None, metavar="N",
@@ -205,6 +213,8 @@ def main(argv: list[str] | None = None) -> int:
     graph = _load_graph(args.graph, args.tier)
     mg_k, mg_t = args.misra_gries
     print(f"graph: {graph.name} — {graph.num_nodes} nodes, {graph.num_edges} edges")
+    if args.serve_url:
+        return _count_via_service(args, graph, mg_k, mg_t)
 
     telemetry_wanted = bool(
         args.metrics_out or args.chrome_trace or args.profile or args.log_json
@@ -312,6 +322,48 @@ def main(argv: list[str] | None = None) -> int:
         logger.event("run_end", status="ok", estimate=float(result.estimate))
         logger.close()
         print(f"NDJSON event log written to {args.log_json} (run_id {logger.run_id})")
+    return 0
+
+
+def _count_via_service(args, graph: COOGraph, mg_k: int, mg_t: int) -> int:
+    """The ``--serve-url`` smoke path: one session round trip on a server."""
+    import re
+
+    from .service.client import ServiceClient, ServiceError
+
+    name = args.session or re.sub(r"[^A-Za-z0-9._-]", "-", graph.name).lstrip("._-")
+    if not name:
+        name = "cli"
+    batch_edges = args.batch_edges or 10_000
+    with ServiceClient(args.serve_url) as client:
+        opened = client.open_session(
+            name,
+            num_nodes=graph.num_nodes,
+            num_colors=args.colors,
+            seed=args.seed,
+            misra_gries_k=mg_k,
+            misra_gries_t=mg_t,
+        )
+        try:
+            client.insert_graph(name, graph, batch_edges=batch_edges)
+            view = client.count(name)
+            stats = client.stats(name)
+        finally:
+            try:
+                client.close_session(name)
+            except ServiceError:
+                pass  # already reaped/closed; the count above still stands
+    print(
+        f"triangles (exact, via {args.serve_url} session {name!r}): "
+        f"{view['triangles']}"
+    )
+    print(
+        f"PIM cores: {opened['num_dpus']}  |  rounds {view['rounds']}  "
+        f"sim {fmt_time(view['sim_seconds'])}  "
+        f"peak routed {stats['peak_routed_bytes']:,} B"
+    )
+    if opened.get("event_log"):
+        print(f"session event stream: {opened['event_log']}")
     return 0
 
 

@@ -43,7 +43,13 @@ __all__ = ["DynamicUpdateResult", "DynamicPimCounter"]
 
 
 class DynamicUpdateResult:
-    """Outcome of one dynamic update round."""
+    """Outcome of one dynamic update round.
+
+    ``new_edges`` counts edges *added* by an insert round and is 0 for
+    deletions; ``removed_edges`` counts logical edges actually dropped by a
+    delete round (tombstones for absent edges are not counted) and is 0 for
+    inserts.
+    """
 
     def __init__(
         self,
@@ -55,6 +61,7 @@ class DynamicUpdateResult:
         round_seconds: float,
         cumulative_seconds: float,
         op: str = "insert",
+        removed_edges: int = 0,
     ) -> None:
         self.round_index = round_index
         self.new_edges = new_edges
@@ -64,11 +71,31 @@ class DynamicUpdateResult:
         self.round_seconds = round_seconds
         self.cumulative_seconds = cumulative_seconds
         self.op = op
+        self.removed_edges = removed_edges
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (service responses, NDJSON events, reports)."""
+        return {
+            "round_index": int(self.round_index),
+            "op": self.op,
+            "new_edges": int(self.new_edges),
+            "removed_edges": int(self.removed_edges),
+            "cumulative_edges": int(self.cumulative_edges),
+            "triangles_total": int(self.triangles_total),
+            "triangles_added": int(self.triangles_added),
+            "round_seconds": float(self.round_seconds),
+            "cumulative_seconds": float(self.cumulative_seconds),
+        }
 
     def __repr__(self) -> str:
+        edges = (
+            f"edges={self.new_edges}"
+            if self.op == "insert"
+            else f"removed={self.removed_edges}"
+        )
         return (
             f"DynamicUpdateResult(round={self.round_index}, op={self.op}, "
-            f"edges={self.new_edges}, T={self.triangles_total}, "
+            f"{edges}, T={self.triangles_total}, "
             f"dt={self.round_seconds * 1e3:.3f}ms)"
         )
 
@@ -124,12 +151,54 @@ class DynamicPimCounter:
         self._estimate = 0
         self._round = 0
         self._cumulative_edges = 0
+        #: Largest routed-bytes footprint of any single update/deletion round
+        #: (the service layer budgets sessions against this accounting).
+        self.peak_routed_bytes = 0
+        self._closed = False
 
     # --------------------------------------------------------------------- state
     @property
     def triangles(self) -> int:
         """Current exact triangle count of the accumulated graph."""
         return self._estimate
+
+    @property
+    def cumulative_edges(self) -> int:
+        """Logical edges currently resident (inserts minus real deletions)."""
+        return self._cumulative_edges
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of sample records currently resident across all PIM cores."""
+        records = sum(int(src.size) for src in self._src)
+        return records * self.costs.edge_bytes
+
+    def routed_bytes_for(self, num_edges: int) -> int:
+        """Routed-byte footprint of a ``num_edges`` batch: every edge is
+        replicated once per third-color choice (``C`` copies, one per
+        compatible triplet core)."""
+        return int(num_edges) * self.partitioner.table.edge_multiplicity() * self.costs.edge_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the PIM cores and drop resident state (idempotent).
+
+        A long-lived service session must hand its DPUs back when it ends;
+        after :meth:`close`, further updates raise ``ConfigurationError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.dpus.free(phase="dynamic")
+        self._src = [np.empty(0, dtype=np.int64) for _ in self._src]
+        self._dst = [np.empty(0, dtype=np.int64) for _ in self._dst]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("DynamicPimCounter is closed")
 
     @property
     def cumulative_seconds(self) -> float:
@@ -207,14 +276,18 @@ class DynamicPimCounter:
                 dpu.charge_mram_read(tk, int(per), requests=max(1, b // 8))
         return u, v, eff_nodes, dpu.compute_seconds()
 
-    def _update_mg(self, batch: COOGraph) -> RemapTable | None:
-        """Feed one update batch to the Misra-Gries summary; refresh the remap."""
-        if self._mg is None:
-            return None
+    @staticmethod
+    def _endpoint_stream(batch: COOGraph) -> np.ndarray:
+        """Node stream of one batch: each edge contributes both endpoints."""
         stream = np.empty(2 * batch.num_edges, dtype=np.int64)
         stream[0::2] = batch.src
         stream[1::2] = batch.dst
-        self._mg.update_array(stream)
+        return stream
+
+    def _refresh_remap(self) -> RemapTable | None:
+        """Rebuild the remap table from the current summary and broadcast it."""
+        if self._mg is None:
+            return None
         top = self._mg.top(self._mg_t)
         if not top:
             return None
@@ -224,6 +297,29 @@ class DynamicPimCounter:
             "dynamic", self.dpus.transfer.broadcast(remap.nbytes(), len(self.dpus)).seconds
         )
         return remap
+
+    def _update_mg(self, batch: COOGraph) -> RemapTable | None:
+        """Feed one update batch to the Misra-Gries summary; refresh the remap."""
+        if self._mg is None:
+            return None
+        self._mg.update_array(self._endpoint_stream(batch))
+        return self._refresh_remap()
+
+    def _decay_mg(self, batch: COOGraph) -> RemapTable | None:
+        """Retract one deletion batch from the Misra-Gries summary.
+
+        Without this, a hub whose edges were all deleted would stay pinned in
+        the summary's top-``t`` forever and keep winning remap slots over
+        nodes that are *currently* hot.  Decaying the deleted endpoints (and
+        re-broadcasting the refreshed table, charged like any remap refresh)
+        keeps the summary tracking the live graph.  Counts are unaffected
+        either way — the remap is a bijection — which the differential grid
+        and the deletion oracle tests pin.
+        """
+        if self._mg is None:
+            return None
+        self._mg.decay_array(self._endpoint_stream(batch))
+        return self._refresh_remap()
 
     def _finish_round(
         self, batch: COOGraph, before_total: float, op: str = "insert"
@@ -287,6 +383,9 @@ class DynamicPimCounter:
                 / (cost.host_clock_hz * cost.host_threads)
             )
             part = self.partitioner.assign_arrays(s_chunk, d_chunk)
+            self.peak_routed_bytes = max(
+                self.peak_routed_bytes, int(part.counts.sum()) * self.costs.edge_bytes
+            )
             xfer = self.dpus.transfer.scatter(
                 part.counts * self.costs.edge_bytes
             ).seconds
@@ -307,6 +406,7 @@ class DynamicPimCounter:
 
     def apply_update(self, batch: COOGraph) -> DynamicUpdateResult:
         """Merge one batch of new edges and recount incrementally."""
+        self._check_open()
         if self.batch_edges is not None:
             return self._apply_update_batched(batch)
         cost = self.system.config.cost
@@ -320,6 +420,7 @@ class DynamicPimCounter:
         )
         partition = self.partitioner.assign(batch)
         routed_bytes = partition.counts * self.costs.edge_bytes
+        self.peak_routed_bytes = max(self.peak_routed_bytes, int(routed_bytes.sum()))
         self.clock.advance("dynamic", self.dpus.transfer.scatter(routed_bytes).seconds)
 
         remap = self._update_mg(batch)
@@ -334,6 +435,20 @@ class DynamicPimCounter:
         return self._finish_round(batch, before_total, op="insert")
 
     # ------------------------------------------------------------------ delete
+    def _canonical_dpus(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Each edge's designated home core: the third-color-0 triplet.
+
+        Every edge is replicated once per third-color choice — the partition
+        routes ``edge_multiplicity() == C`` copies to ``C`` distinct triplet
+        cores — and the triplet LUT is symmetric in its first two arguments,
+        so ``lut[cu, cv, 0]`` names the *same* core for every replica of an
+        undirected edge.  Counting removals only on that core counts each
+        logical edge exactly once, with no division by a replication factor.
+        """
+        cu = self.partitioner.node_colors(src)
+        cv = self.partitioner.node_colors(dst)
+        return self.partitioner.table.lut[cu, cv, np.int64(0)]
+
     def apply_deletion(self, batch: COOGraph) -> DynamicUpdateResult:
         """Remove a batch of edges (fully-dynamic streams, TRIEST-FD style).
 
@@ -344,6 +459,7 @@ class DynamicPimCounter:
         one binary search plus a compaction pass.  Edges not present are
         ignored (idempotent deletes).
         """
+        self._check_open()
         cost = self.system.config.cost
         before_total = self.cumulative_seconds
         self.clock.advance(
@@ -354,9 +470,14 @@ class DynamicPimCounter:
         )
         partition = self.partitioner.assign(batch)
         routed_bytes = partition.counts * self.costs.edge_bytes
+        self.peak_routed_bytes = max(self.peak_routed_bytes, int(routed_bytes.sum()))
         self.clock.advance("dynamic", self.dpus.transfer.scatter(routed_bytes).seconds)
 
-        removed_total = 0
+        # Deletions change which nodes are hot: retract the batch from the
+        # Misra-Gries summary so stale hubs don't stay pinned in the remap.
+        self._decay_mg(batch)
+
+        removed_edges = 0  # logical edges, counted on each edge's home core
         times = []
         for d, (del_src, del_dst) in enumerate(partition.per_dpu):
             dpu = self.dpus.dpus[d]
@@ -369,8 +490,15 @@ class DynamicPimCounter:
                 old_keys = np.minimum(old_src, old_dst) * n + np.maximum(old_src, old_dst)
                 del_keys = np.minimum(del_src, del_dst) * n + np.maximum(del_src, del_dst)
                 keep = ~np.isin(old_keys, del_keys)
-                removed = m - int(keep.sum())
-                removed_total += removed
+                dropped = ~keep
+                if dropped.any():
+                    # A record's replicas live on C cores; attribute the
+                    # logical removal to the replica on its home core rather
+                    # than dividing a physical-replica tally by an assumed
+                    # factor (which drifts whenever a tombstone's replicas
+                    # are not all resident).
+                    home = self._canonical_dpus(old_src[dropped], old_dst[dropped])
+                    removed_edges += int((home == d).sum())
                 self._src[d] = old_src[keep]
                 self._dst[d] = old_dst[keep]
                 # Tombstone search + one compaction pass over the sample.
@@ -407,15 +535,16 @@ class DynamicPimCounter:
         added = new_estimate - self._estimate
         self._estimate = new_estimate
         self._round += 1
-        self._cumulative_edges -= removed_total // self.num_colors
+        self._cumulative_edges -= removed_edges
         round_seconds = self.cumulative_seconds - before_total
         return DynamicUpdateResult(
             round_index=self._round,
-            new_edges=batch.num_edges,
+            new_edges=0,
             cumulative_edges=self._cumulative_edges,
             triangles_total=new_estimate,
             triangles_added=added,
             round_seconds=round_seconds,
             cumulative_seconds=self.cumulative_seconds,
             op="delete",
+            removed_edges=removed_edges,
         )

@@ -41,6 +41,7 @@ from .history import RunHistory, detect_trends, flatten_numeric
 from .logjson import (
     NDJSON_EVENT_FIELDS,
     NdjsonLogger,
+    NdjsonTailer,
     load_ndjson,
     new_run_id,
     stream_status,
@@ -58,6 +59,7 @@ __all__ = [
     "render_imbalance_report",
     "imbalance_heatmap_svg",
     "NdjsonLogger",
+    "NdjsonTailer",
     "NDJSON_EVENT_FIELDS",
     "new_run_id",
     "load_ndjson",

@@ -154,9 +154,16 @@ class RunHistory:
     real stores are single files safe to stash in a CI cache between runs.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, busy_timeout: float = 30.0) -> None:
         self.path = os.fspath(path)
-        self._db = sqlite3.connect(self.path)
+        self._db = sqlite3.connect(self.path, timeout=busy_timeout)
+        # Parallel writers are now normal (service sessions appending run
+        # reports, CI jobs sharing one cached store): WAL lets readers and a
+        # writer coexist, and the busy timeout makes writer-vs-writer
+        # contention a wait instead of an immediate "database is locked".
+        self._db.execute(f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}")
+        if self.path != ":memory:":
+            self._db.execute("PRAGMA journal_mode = WAL")
         self._db.executescript(_TABLES)
         self._db.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",

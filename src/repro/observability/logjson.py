@@ -40,6 +40,7 @@ from typing import IO, Any
 __all__ = [
     "NDJSON_EVENT_FIELDS",
     "NdjsonLogger",
+    "NdjsonTailer",
     "load_ndjson",
     "new_run_id",
     "stream_status",
@@ -148,6 +149,76 @@ def load_ndjson(path: str | os.PathLike) -> list[dict]:
                 break  # in-flight partial write
             raise
     return records
+
+
+class NdjsonTailer:
+    """Incremental NDJSON reader that is safe to race a live writer.
+
+    ``repro-watch --follow`` used to re-read the whole file each poll and
+    feed every byte to the line parser; a poll landing *mid-append* could
+    then see — and misparse — the half-written tail of a line the writer had
+    not finished flushing.  The tailer closes that race by construction:
+
+    * it consumes the file **incrementally** from a remembered offset and
+      only ever parses lines terminated by ``\\n`` — a partial tail stays in
+      an internal byte buffer until the writer completes it;
+    * **truncation** (the file shrank under us — a writer restarted with
+      ``open(..., "w")``) and **rotation** (the path now names a different
+      inode) are detected per poll; the tailer restarts from offset 0 and
+      counts the event in :attr:`restarts` rather than mixing two streams'
+      bytes;
+    * a *complete* line that still fails to parse is corruption, not an
+      in-flight write, and raises — same contract as :func:`load_ndjson`.
+
+    :meth:`poll` returns the newly completed records; :attr:`records`
+    accumulates every record of the current stream incarnation (what
+    :func:`stream_status`/render want).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self.records: list[dict] = []
+        #: Truncation/rotation events survived (stream restarted each time).
+        self.restarts = 0
+        self._offset = 0
+        self._buffer = b""
+        self._inode: int | None = None
+
+    def _restart(self) -> None:
+        self.restarts += 1
+        self.records = []
+        self._offset = 0
+        self._buffer = b""
+
+    def poll(self) -> list[dict]:
+        """Read newly completed lines; returns just the new records."""
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            if self._inode is not None:
+                self._restart()
+                self._inode = None
+            return []
+        if self._inode is not None and stat.st_ino != self._inode:
+            self._restart()  # rotated: a different file now holds the path
+        elif stat.st_size < self._offset:
+            self._restart()  # truncated: the writer started over
+        self._inode = stat.st_ino
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+            self._offset = fh.tell()
+        self._buffer += data
+        new: list[dict] = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                break  # incomplete tail: keep buffering until the writer flushes
+            line, self._buffer = self._buffer[:newline], self._buffer[newline + 1:]
+            if line.strip():
+                new.append(json.loads(line.decode("utf-8")))
+        self.records.extend(new)
+        return new
 
 
 def validate_ndjson_events(records: list[dict]) -> list[str]:

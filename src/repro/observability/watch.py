@@ -25,7 +25,7 @@ import argparse
 import sys
 import time
 
-from .logjson import load_ndjson, stream_status, validate_ndjson_events
+from .logjson import NdjsonTailer, load_ndjson, stream_status, validate_ndjson_events
 
 __all__ = ["main", "render_stream", "summarize_stream"]
 
@@ -139,9 +139,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    deadline = None if args.timeout is None else time.monotonic() + args.timeout
-    while True:
+    if not args.follow:
         records = load_ndjson(args.path)
+        if args.validate:
+            errors = validate_ndjson_events(records)
+            if errors:
+                for error in errors:
+                    print(f"invalid: {error}", file=sys.stderr)
+                return 1
+        print(render_stream(records, now=time.time()))
+        return 0 if stream_status(records) != "error" else 1
+    # Follow mode reads incrementally through the tailer: a poll racing the
+    # writer mid-append buffers the incomplete final line instead of parsing
+    # it, and a truncated/rotated file restarts the stream cleanly.
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    tailer = NdjsonTailer(args.path)
+    while True:
+        restarts_before = tailer.restarts
+        tailer.poll()
+        if tailer.restarts > restarts_before:
+            print("stream restarted (file truncated or rotated)", file=sys.stderr)
+        records = tailer.records
         if args.validate:
             errors = validate_ndjson_events(records)
             if errors:
@@ -150,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
         status = stream_status(records)
         print(render_stream(records, now=time.time()))
-        if not args.follow or status in ("ok", "error"):
+        if status in ("ok", "error"):
             return 0 if status != "error" else 1
         if deadline is not None and time.monotonic() >= deadline:
             print("watch timed out before run_end", file=sys.stderr)

@@ -1,0 +1,141 @@
+"""Blocking client for the triangle-counting service.
+
+A thin synchronous wrapper over the length-prefixed JSON protocol — the
+shape a CLI tool or test wants: connect, call methods, get dicts back,
+application errors raised as :class:`ServiceError` with the server's stable
+error code attached.
+
+    with ServiceClient("127.0.0.1:7707") as client:
+        client.open_session("mygraph", num_nodes=1000, num_colors=4)
+        client.insert("mygraph", src=[0, 1], dst=[1, 2])
+        print(client.count("mygraph")["triangles"])
+        client.close_session("mygraph")
+
+One client drives one connection; requests on it are strictly sequential.
+Open several clients for concurrency — per-session ordering is enforced
+server-side by the session queue, so interleaving clients never changes a
+session's final count.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterable
+
+import numpy as np
+
+from .protocol import recv_frame, send_frame
+
+__all__ = ["ServiceClient", "ServiceError", "parse_url", "wait_ready"]
+
+
+class ServiceError(Exception):
+    """Application error from the server, carrying its protocol code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """``host:port`` or ``tcp://host:port`` -> ``(host, port)``."""
+    spec = url[len("tcp://"):] if url.startswith("tcp://") else url
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT or tcp://HOST:PORT, got {url!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def wait_ready(url: str, timeout: float = 10.0) -> None:
+    """Block until the server accepts connections (startup races in scripts)."""
+    host, port = parse_url(url)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"no service at {url} within {timeout}s") from None
+            time.sleep(0.05)
+
+
+def _edge_list(values: Iterable[int] | np.ndarray) -> list[int]:
+    if isinstance(values, np.ndarray):
+        return values.astype(np.int64, copy=False).tolist()
+    return [int(v) for v in values]
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.service.server.TriangleService`."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        self.url = url
+        host, port = parse_url(url)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # ------------------------------------------------------------------ plumbing
+    def request(self, op: str, **fields: Any) -> dict:
+        """One request/response round trip; raises :class:`ServiceError`."""
+        send_frame(self._sock, {"op": op, **fields})
+        response = recv_frame(self._sock)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "internal_error"),
+                response.get("message", "unspecified error"),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- protocol
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def open_session(self, session: str, num_nodes: int, **options: Any) -> dict:
+        """Options: num_colors, seed, misra_gries_k/t, batch_edges,
+        memory_budget_bytes, max_queue_depth."""
+        return self.request("open", session=session, num_nodes=int(num_nodes), **options)
+
+    def insert(self, session: str, src, dst) -> dict:
+        return self.request(
+            "insert", session=session, src=_edge_list(src), dst=_edge_list(dst)
+        )
+
+    def delete(self, session: str, src, dst) -> dict:
+        return self.request(
+            "delete", session=session, src=_edge_list(src), dst=_edge_list(dst)
+        )
+
+    def insert_graph(self, session: str, graph, batch_edges: int = 10_000) -> list[dict]:
+        """Stream a :class:`~repro.graph.coo.COOGraph` in bounded batches."""
+        results = []
+        for start in range(0, graph.num_edges, batch_edges):
+            stop = min(start + batch_edges, graph.num_edges)
+            results.append(
+                self.insert(session, graph.src[start:stop], graph.dst[start:stop])
+            )
+        return results
+
+    def count(self, session: str) -> dict:
+        return self.request("count", session=session)
+
+    def stats(self, session: str | None = None) -> dict:
+        if session is None:
+            return self.request("stats")
+        return self.request("stats", session=session)
+
+    def close_session(self, session: str) -> dict:
+        return self.request("close", session=session)

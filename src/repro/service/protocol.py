@@ -1,0 +1,153 @@
+"""Wire protocol of the triangle-counting service: length-prefixed JSON.
+
+One message is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Requests carry an ``op`` field and
+op-specific arguments; responses carry ``ok`` (bool) plus either the result
+fields or ``error`` (a stable machine-readable code from :data:`ERROR_CODES`)
+and a human ``message``.  Edge batches travel as two parallel integer lists
+``src``/``dst`` — small enough for JSON at the batch sizes the admission
+layer accepts, and trivially portable to any client language.
+
+The protocol is deliberately tiny (no streaming bodies, no multiplexing):
+one request, one response, in order, per connection.  Concurrency comes from
+opening several connections — each server-side session serializes its own
+updates through a queue regardless of how many connections feed it, which is
+what makes session counts bit-identical to a standalone
+:class:`~repro.core.dynamic.DynamicPimCounter` replaying the same batches.
+
+Request vocabulary (``op``):
+
+``ping``
+    Liveness probe; echoes ``server_time``.
+``open``
+    Create a named session: ``session``, ``num_nodes``, and optional
+    ``num_colors``, ``seed``, ``misra_gries_k``/``misra_gries_t``,
+    ``batch_edges``, ``memory_budget_bytes``.
+``insert`` / ``delete``
+    Apply one edge batch to ``session``: ``src``, ``dst`` lists.  Rejected
+    with ``backpressure`` when the session's queue is full and with
+    ``budget_exceeded`` when the routed footprint would break the budget.
+``count``
+    Current exact triangle count of ``session`` (drains pending batches
+    first, so a count observes every batch accepted before it).
+``stats``
+    Per-session accounting (edges, rounds, bytes, simulated seconds), or
+    the server-wide view when ``session`` is omitted.
+``close``
+    Graceful session end: frees the session's DPU state and finishes its
+    NDJSON stream with a terminal ``run_end``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+]
+
+#: Upper bound on one frame's JSON body; a frame header announcing more than
+#: this is treated as a protocol violation (garbage or a foreign client), not
+#: an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Stable error codes; clients switch on these, never on message text.
+ERROR_CODES = (
+    "admission_rejected",   # server at max_sessions, open refused
+    "backpressure",         # session queue full, retry later
+    "budget_exceeded",      # batch would break the session memory budget
+    "duplicate_session",    # open with a name already in use
+    "invalid_request",      # malformed frame/op/arguments
+    "internal_error",       # unexpected server-side failure
+    "session_closed",       # op raced a close/expiry
+    "unknown_session",      # no session with that name
+)
+
+
+class ProtocolError(Exception):
+    """Framing/shape violation on the wire (not an application error)."""
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Serialize one message to its length-prefixed wire form."""
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes (max {MAX_FRAME_BYTES})"
+        )
+
+
+# ------------------------------------------------------------------- asyncio
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one message; ``None`` on clean EOF before a header."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection dropped mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection dropped mid-frame") from exc
+    return _decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# ------------------------------------------------------------ blocking sockets
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any]:
+    """Blocking read of one message (the sync client's receive path)."""
+    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    _check_length(length)
+    return _decode_body(_recv_exactly(sock, length))
+
+
+def send_frame(sock: socket.socket, obj: dict[str, Any]) -> None:
+    sock.sendall(encode_frame(obj))

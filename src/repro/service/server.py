@@ -1,0 +1,352 @@
+"""``repro-serve`` — the multi-session triangle-counting service.
+
+A stdlib-``asyncio`` TCP server hosting many named
+:class:`~repro.service.session.GraphSession`\\ s, each with its own simulated
+PIM machine.  The server is the production consumer the ROADMAP's
+"millions of users" direction asks for: concurrent clients open sessions,
+stream insert/delete edge batches, and query exact counts, while the
+admission layer keeps the host honest:
+
+* ``max_sessions`` caps concurrent sessions (``admission_rejected``);
+* each session's queue depth bounds buffered batches (``backpressure``);
+* per-session memory budgets priced with the ``peak_routed_bytes``
+  accounting reject oversized inserts (``budget_exceeded``);
+* idle sessions past ``idle_timeout`` are reaped, freeing their DPU state —
+  the same graceful path as an explicit ``close``.
+
+With ``--event-dir``, every session writes a join-complete NDJSON stream
+(``<dir>/<session>.ndjson``) in the ``repro-count --log-json`` schema, so a
+live session can be tailed with ``repro-watch <dir>/<name>.ndjson --follow``
+and audited afterwards with ``repro-validate --require-complete``.
+
+Usage::
+
+    repro-serve --port 7707 --max-sessions 16 --event-dir events/
+    repro-serve --port 0 --ready-file addr.txt   # ephemeral port for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import re
+import signal
+import sys
+import time
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError, GraphFormatError
+from .protocol import ProtocolError, read_frame, write_frame
+from .session import GraphSession, SessionError
+
+__all__ = ["ServiceConfig", "TriangleService", "main"]
+
+_SESSION_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
+
+
+@dataclass
+class ServiceConfig:
+    """Server-wide knobs (per-session limits are applied at ``open``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in `TriangleService.port`
+    max_sessions: int = 8
+    max_queue_depth: int = 8
+    #: Default per-session memory budget; ``None`` = unbudgeted unless the
+    #: ``open`` request names one.
+    memory_budget_bytes: int | None = None
+    #: Sessions idle longer than this many seconds are closed by the reaper;
+    #: ``None`` disables expiry.
+    idle_timeout: float | None = None
+    #: Directory for per-session NDJSON event streams; ``None`` disables them.
+    event_dir: str | None = None
+
+
+class TriangleService:
+    """Session registry + asyncio TCP front end."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.sessions: dict[str, GraphSession] = {}
+        self.port: int | None = None
+        self.started_at = time.time()
+        self.sessions_opened = 0
+        self.sessions_expired = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._reaper: asyncio.Task | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        if self.config.event_dir:
+            os.makedirs(self.config.event_dir, exist_ok=True)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.idle_timeout is not None:
+            self._reaper = asyncio.get_running_loop().create_task(
+                self._reap_idle(), name="session-reaper"
+            )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, then close every session."""
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        for name in list(self.sessions):
+            session = self.sessions.pop(name)
+            await session.close()
+
+    async def _reap_idle(self) -> None:
+        timeout = float(self.config.idle_timeout)
+        interval = max(0.05, min(0.5, timeout / 4))
+        while True:
+            await asyncio.sleep(interval)
+            for name, session in list(self.sessions.items()):
+                if session.stats()["idle_seconds"] > timeout:
+                    self.sessions.pop(name, None)
+                    self.sessions_expired += 1
+                    await session.close()
+
+    # ----------------------------------------------------------------- clients
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    await write_frame(
+                        writer,
+                        {"ok": False, "error": "invalid_request", "message": str(exc)},
+                    )
+                    break
+                if request is None:
+                    break
+                await write_frame(writer, await self._dispatch(request))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None or (isinstance(op, str) and op.startswith("_")):
+            return {
+                "ok": False,
+                "error": "invalid_request",
+                "message": f"unknown op {op!r}",
+            }
+        try:
+            result = await handler(request)
+        except SessionError as exc:
+            return {"ok": False, "error": exc.code, "message": exc.message}
+        except (ConfigurationError, GraphFormatError, ValueError, TypeError) as exc:
+            return {"ok": False, "error": "invalid_request", "message": str(exc)}
+        except Exception as exc:  # keep the server alive on handler bugs
+            return {
+                "ok": False,
+                "error": "internal_error",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        result.setdefault("ok", True)
+        return result
+
+    def _session(self, request: dict) -> GraphSession:
+        name = request.get("session")
+        session = self.sessions.get(name) if isinstance(name, str) else None
+        if session is None:
+            raise SessionError("unknown_session", f"no session named {name!r}")
+        return session
+
+    @staticmethod
+    def _edge_arrays(request: dict) -> tuple[list, list]:
+        src, dst = request.get("src"), request.get("dst")
+        if not isinstance(src, list) or not isinstance(dst, list):
+            raise SessionError(
+                "invalid_request", "insert/delete need 'src' and 'dst' lists"
+            )
+        if len(src) != len(dst):
+            raise SessionError(
+                "invalid_request",
+                f"src ({len(src)}) and dst ({len(dst)}) lengths differ",
+            )
+        return src, dst
+
+    # --------------------------------------------------------------------- ops
+    async def _op_ping(self, request: dict) -> dict:
+        return {"server_time": time.time(), "sessions": len(self.sessions)}
+
+    async def _op_open(self, request: dict) -> dict:
+        name = request.get("session")
+        if not isinstance(name, str) or not _SESSION_NAME.match(name):
+            raise SessionError(
+                "invalid_request",
+                "session names are 1-64 chars of [A-Za-z0-9._-], "
+                "starting alphanumeric",
+            )
+        if name in self.sessions:
+            raise SessionError("duplicate_session", f"session {name!r} already open")
+        if len(self.sessions) >= self.config.max_sessions:
+            raise SessionError(
+                "admission_rejected",
+                f"server is at its {self.config.max_sessions}-session limit",
+            )
+        num_nodes = request.get("num_nodes")
+        if not isinstance(num_nodes, int) or num_nodes < 1:
+            raise SessionError("invalid_request", "open needs integer num_nodes >= 1")
+        budget = request.get("memory_budget_bytes", self.config.memory_budget_bytes)
+        event_log = (
+            os.path.join(self.config.event_dir, f"{name}.ndjson")
+            if self.config.event_dir
+            else None
+        )
+        session = GraphSession(
+            name,
+            num_nodes,
+            num_colors=int(request.get("num_colors", 4)),
+            seed=int(request.get("seed", 0)),
+            misra_gries_k=int(request.get("misra_gries_k", 0)),
+            misra_gries_t=int(request.get("misra_gries_t", 0)),
+            batch_edges=request.get("batch_edges"),
+            memory_budget_bytes=budget,
+            max_queue_depth=int(
+                request.get("max_queue_depth", self.config.max_queue_depth)
+            ),
+            event_log=event_log,
+        )
+        session.start()
+        self.sessions[name] = session
+        self.sessions_opened += 1
+        return {
+            "session": name,
+            "num_dpus": session.counter.partitioner.num_dpus,
+            "event_log": event_log,
+        }
+
+    async def _op_insert(self, request: dict) -> dict:
+        session = self._session(request)
+        src, dst = self._edge_arrays(request)
+        return await session.submit("insert", src, dst)
+
+    async def _op_delete(self, request: dict) -> dict:
+        session = self._session(request)
+        src, dst = self._edge_arrays(request)
+        return await session.submit("delete", src, dst)
+
+    async def _op_count(self, request: dict) -> dict:
+        return await self._session(request).count()
+
+    async def _op_stats(self, request: dict) -> dict:
+        if request.get("session") is not None:
+            return self._session(request).stats()
+        return {
+            "sessions": sorted(self.sessions),
+            "max_sessions": self.config.max_sessions,
+            "sessions_opened": self.sessions_opened,
+            "sessions_expired": self.sessions_expired,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    async def _op_close(self, request: dict) -> dict:
+        session = self._session(request)
+        self.sessions.pop(session.name, None)
+        return await session.close()
+
+
+# ------------------------------------------------------------------ console
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve concurrent triangle-counting sessions over the "
+        "length-prefixed JSON protocol (see docs/service.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7707,
+                        help="TCP port; 0 picks an ephemeral port (printed, "
+                             "and written to --ready-file)")
+    parser.add_argument("--max-sessions", type=int, default=8,
+                        help="admission control: concurrent session cap")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="per-session pending-batch cap before "
+                             "backpressure rejections")
+    parser.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                        help="default per-session memory budget enforced "
+                             "against the routed+resident byte accounting "
+                             "(openers may override per session)")
+    parser.add_argument("--idle-timeout", type=float, default=None, metavar="S",
+                        help="reap sessions idle longer than S seconds")
+    parser.add_argument("--event-dir", default=None, metavar="DIR",
+                        help="write one join-complete NDJSON event stream "
+                             "per session (tail with repro-watch)")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write HOST:PORT here once listening (lets "
+                             "scripts find an ephemeral --port 0)")
+    return parser
+
+
+async def _serve(args) -> int:
+    service = TriangleService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            max_queue_depth=args.queue_depth,
+            memory_budget_bytes=args.memory_budget,
+            idle_timeout=args.idle_timeout,
+            event_dir=args.event_dir,
+        )
+    )
+    await service.start()
+    print(f"repro-serve listening on {args.host}:{service.port}", flush=True)
+    if args.ready_file:
+        with open(args.ready_file, "w") as fh:
+            fh.write(f"{args.host}:{service.port}\n")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # non-Unix event loops
+            pass
+    await stop.wait()
+    print("repro-serve shutting down", flush=True)
+    await service.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,31 @@ class MisraGries:
             c[v] = c.get(v, 0) + int(n)
         self._trim()
 
+    def decay_array(self, items: np.ndarray) -> None:
+        """Retract a chunk of stream items (fully-dynamic deletion support).
+
+        Counters are lower bounds on an item's frequency in the *live*
+        stream, so retracting a deleted occurrence means subtracting it from
+        the item's counter (floored at zero; zeroed entries are dropped) and
+        shrinking ``items_seen``.  The ``n / K`` guarantee is preserved:
+        decaying can only lower counters and lowers ``n`` by the same total,
+        which is the standard turnstile relaxation — a node whose edges were
+        all deleted no longer dominates :meth:`top`.
+        """
+        items = np.asarray(items)
+        if items.size == 0:
+            return
+        self.items_seen = max(0, self.items_seen - int(items.size))
+        values, counts = np.unique(items, return_counts=True)
+        c = self.counters
+        for v, n in zip(values.tolist(), counts.tolist()):
+            if v in c:
+                remaining = c[v] - int(n)
+                if remaining > 0:
+                    c[v] = remaining
+                else:
+                    del c[v]
+
     def merge(self, other: "MisraGries") -> None:
         """Merge another summary into this one (host thread combine step)."""
         for item, count in other.counters.items():

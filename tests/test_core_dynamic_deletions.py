@@ -90,3 +90,138 @@ class TestDeletions:
             dyn.apply_deletion(third)
             remaining = small_graph.slice(small_graph.num_edges // 3, small_graph.num_edges)
             assert dyn.triangles == count_triangles(remaining)
+
+
+class TestDeletionAccounting:
+    """``cumulative_edges`` counts *logical* edges, attributed on each edge's
+    canonical home core (``lut[cu, cv, 0]``) — never derived by dividing the
+    replica-drop total by the replication factor."""
+
+    @pytest.mark.parametrize("colors", [1, 2, 3, 4, 5])
+    def test_insert_then_delete_all_restores_zero(self, small_graph, colors):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=colors, seed=colors)
+        dyn.apply_update(small_graph)
+        assert dyn.cumulative_edges == small_graph.num_edges
+        result = dyn.apply_deletion(small_graph)
+        assert result.removed_edges == small_graph.num_edges
+        assert result.cumulative_edges == 0
+        assert dyn.cumulative_edges == 0
+        assert dyn.triangles == 0
+
+    @pytest.mark.parametrize("colors", [2, 4])
+    def test_multi_batch_delete_all(self, small_graph, colors):
+        """Deleting in awkward chunk sizes (not multiples of anything) still
+        lands exactly on zero, with per-batch removed_edges summing to m."""
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=colors, seed=7)
+        dyn.apply_update(small_graph)
+        removed = 0
+        for start in range(0, small_graph.num_edges, 37):
+            stop = min(start + 37, small_graph.num_edges)
+            result = dyn.apply_deletion(small_graph.slice(start, stop))
+            assert result.removed_edges == stop - start
+            removed += result.removed_edges
+            assert dyn.cumulative_edges == small_graph.num_edges - removed
+        assert dyn.cumulative_edges == 0
+        assert dyn.triangles == 0
+
+    def test_absent_edges_do_not_decrement(self, counter_with_graph):
+        """Tombstones that match nothing remove zero logical edges."""
+        dyn, graph = counter_with_graph
+        before = dyn.cumulative_edges
+        keys = set(graph.edge_keys().tolist())
+        absent = [
+            (u, v)
+            for u in range(graph.num_nodes)
+            for v in range(u + 1, min(u + 3, graph.num_nodes))
+            if (u * graph.num_nodes + v) not in keys
+        ][:5]
+        assert absent, "ER sample unexpectedly complete"
+        result = dyn.apply_deletion(
+            COOGraph.from_edges(absent, num_nodes=graph.num_nodes)
+        )
+        assert result.removed_edges == 0
+        assert dyn.cumulative_edges == before
+
+    def test_mixed_present_and_absent_batch(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        present = graph.slice(0, 10)
+        keys = set(graph.edge_keys().tolist())
+        absent = [
+            (u, u + 1)
+            for u in range(graph.num_nodes - 1)
+            if (u * graph.num_nodes + u + 1) not in keys
+        ][:10]
+        batch = COOGraph(
+            np.concatenate([present.src, np.array([u for u, _ in absent])]),
+            np.concatenate([present.dst, np.array([v for _, v in absent])]),
+            graph.num_nodes,
+        )
+        result = dyn.apply_deletion(batch)
+        assert result.removed_edges == 10
+        assert dyn.cumulative_edges == graph.num_edges - 10
+
+
+class TestUpdateResultSchema:
+    def test_insert_result_fields(self, small_graph):
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=3, seed=1)
+        result = dyn.apply_update(small_graph)
+        assert result.op == "insert"
+        assert result.new_edges == small_graph.num_edges
+        assert result.removed_edges == 0
+        assert "edges=" in repr(result)
+
+    def test_delete_result_fields(self, counter_with_graph):
+        dyn, graph = counter_with_graph
+        result = dyn.apply_deletion(graph.slice(0, 25))
+        assert result.op == "delete"
+        assert result.new_edges == 0
+        assert result.removed_edges == 25
+        assert "removed=25" in repr(result)
+
+    def test_to_dict_round_trips_both_ops(self, counter_with_graph):
+        import json
+
+        from repro.core.dynamic import DynamicUpdateResult
+
+        dyn, graph = counter_with_graph
+        for result in (
+            dyn.apply_deletion(graph.slice(0, 15)),
+            dyn.apply_update(graph.slice(0, 15)),
+        ):
+            payload = json.loads(json.dumps(result.to_dict()))
+            rebuilt = DynamicUpdateResult(**payload)
+            assert rebuilt.to_dict() == result.to_dict()
+            assert rebuilt.op == result.op
+            assert rebuilt.new_edges == result.new_edges
+            assert rebuilt.removed_edges == result.removed_edges
+
+
+class TestMisraGriesDecay:
+    def test_deleted_hub_leaves_the_top(self, small_graph):
+        """A hub whose star is deleted must stop dominating the remap slots;
+        exact counts stay exact throughout (remap is a bijection)."""
+        n = small_graph.num_nodes + 1
+        hub = n - 1
+        spokes = np.arange(small_graph.num_nodes, dtype=np.int64)
+        star = COOGraph(np.full(spokes.size, hub, dtype=np.int64), spokes, n)
+        dyn = DynamicPimCounter(n, num_colors=3, seed=3,
+                                misra_gries_k=8, misra_gries_t=2)
+        base = COOGraph(small_graph.src, small_graph.dst, n)
+        dyn.apply_update(base)
+        dyn.apply_update(star)
+        assert hub in dyn._mg.top(2)
+        assert dyn.triangles == count_triangles(base.concat(star))
+        dyn.apply_deletion(star)
+        assert hub not in dyn._mg.top(2)
+        assert dyn._mg.frequency_lower_bound(hub) == 0
+        assert dyn.triangles == count_triangles(base)
+
+    def test_decay_matches_insert_then_delete_counts(self, small_graph):
+        """With MG enabled, insert-all-then-delete-all still pins zero."""
+        dyn = DynamicPimCounter(small_graph.num_nodes, num_colors=2, seed=5,
+                                misra_gries_k=6, misra_gries_t=2)
+        dyn.apply_update(small_graph)
+        dyn.apply_deletion(small_graph)
+        assert dyn.triangles == 0
+        assert dyn.cumulative_edges == 0
+        assert dyn._mg.items_seen == 0

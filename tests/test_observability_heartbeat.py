@@ -248,3 +248,138 @@ class TestWatch:
         )
         assert rc == 2
         capsys.readouterr()
+
+
+class TestTailer:
+    """Incremental NDJSON tailing under writer races, truncation, rotation."""
+
+    @staticmethod
+    def _line(i: int) -> str:
+        return json.dumps({"ts": float(i), "run_id": "r", "event": "span_start",
+                           "path": f"batch[{i}]"})
+
+    def test_partial_tail_buffers_until_complete(self, tmp_path):
+        from repro.observability import NdjsonTailer
+
+        path = tmp_path / "t.ndjson"
+        tailer = NdjsonTailer(path)
+        whole, partial = self._line(0), self._line(1)
+        with open(path, "w") as fh:
+            fh.write(whole + "\n" + partial[:9])
+            fh.flush()
+            # The half-written line must not be parsed — or discarded.
+            assert [r["path"] for r in tailer.poll()] == ["batch[0]"]
+            assert tailer.poll() == []
+            fh.write(partial[9:] + "\n")
+            fh.flush()
+            assert [r["path"] for r in tailer.poll()] == ["batch[1]"]
+        assert len(tailer.records) == 2
+        assert tailer.restarts == 0
+
+    def test_truncation_restarts_the_stream(self, tmp_path):
+        from repro.observability import NdjsonTailer
+
+        path = tmp_path / "t.ndjson"
+        path.write_text(self._line(0) + "\n" + self._line(1) + "\n")
+        tailer = NdjsonTailer(path)
+        assert len(tailer.poll()) == 2
+        path.write_text(self._line(9) + "\n")  # writer reopened with "w"
+        new = tailer.poll()
+        assert tailer.restarts == 1
+        assert [r["path"] for r in new] == ["batch[9]"]
+        assert tailer.records == new  # the old incarnation's records are gone
+
+    def test_rotation_restarts_the_stream(self, tmp_path):
+        from repro.observability import NdjsonTailer
+
+        path = tmp_path / "t.ndjson"
+        path.write_text(self._line(0) + "\n")
+        tailer = NdjsonTailer(path)
+        assert len(tailer.poll()) == 1
+        rotated = tmp_path / "t.ndjson.new"
+        # Same byte length as the original, so only the inode gives it away.
+        rotated.write_text(self._line(5) + "\n")
+        rotated.replace(path)
+        new = tailer.poll()
+        assert tailer.restarts == 1
+        assert [r["path"] for r in new] == ["batch[5]"]
+
+    def test_missing_file_then_created(self, tmp_path):
+        from repro.observability import NdjsonTailer
+
+        path = tmp_path / "late.ndjson"
+        tailer = NdjsonTailer(path)
+        assert tailer.poll() == []  # not an error before the writer starts
+        path.write_text(self._line(0) + "\n")
+        assert len(tailer.poll()) == 1
+        path.unlink()  # writer went away: restart, don't crash
+        assert tailer.poll() == []
+        assert tailer.restarts == 1
+
+    def test_live_writer_race(self, tmp_path):
+        """A writer flushing mid-line never produces a misparsed record."""
+        import threading
+        import time as _time
+
+        from repro.observability import NdjsonTailer
+
+        path = tmp_path / "race.ndjson"
+        total = 200
+
+        def writer():
+            with open(path, "w") as fh:
+                for i in range(total):
+                    line = self._line(i) + "\n"
+                    cut = (i * 7) % (len(line) - 1) + 1
+                    fh.write(line[:cut])
+                    fh.flush()  # expose a torn line to the tailer
+                    fh.write(line[cut:])
+                    fh.flush()
+
+        thread = threading.Thread(target=writer)
+        tailer = NdjsonTailer(path)
+        thread.start()
+        deadline = _time.monotonic() + 30
+        while len(tailer.records) < total and _time.monotonic() < deadline:
+            tailer.poll()
+        thread.join(10)
+        tailer.poll()
+        assert [r["path"] for r in tailer.records] == [
+            f"batch[{i}]" for i in range(total)
+        ]
+        assert tailer.restarts == 0
+
+    def test_follow_survives_truncation_and_finishes(self, tmp_path, capsys):
+        """`repro-watch --follow` rides out a writer restart: it reports the
+        restart and renders only the new incarnation through run_end."""
+        import threading
+        import time as _time
+
+        path = tmp_path / "f.ndjson"
+        # The stale incarnation is longer than the fresh one's first line, so
+        # the truncating reopen is visible as a size drop (a same-size
+        # rewrite on the same inode is undetectable — same as `tail -F`).
+        path.write_text(
+            json.dumps({"ts": 1.0, "run_id": "old", "event": "run_start",
+                        "graph": "stale-" + "x" * 120}) + "\n"
+        )
+
+        def restart_writer():
+            _time.sleep(0.15)
+            with open(path, "w") as fh:  # truncating reopen — a fresh run
+                fh.write(json.dumps({"ts": 2.0, "run_id": "new",
+                                     "event": "run_start", "graph": "fresh"}) + "\n")
+                fh.flush()
+                _time.sleep(0.1)
+                fh.write(json.dumps({"ts": 3.0, "run_id": "new",
+                                     "event": "run_end", "status": "ok"}) + "\n")
+
+        thread = threading.Thread(target=restart_writer)
+        thread.start()
+        rc = watch_main([str(path), "--follow", "--interval", "0.02",
+                         "--timeout", "10", "--validate"])
+        thread.join(5)
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "stream restarted" in captured.err
+        assert "fresh" in captured.out

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro-serve`` (the CI ``service-smoke`` job).
+
+Boots a real server subprocess on an ephemeral port, drives two sessions
+from concurrent client threads, and checks the service's load-bearing
+promises from the outside:
+
+* both sessions' exact counts are bit-identical to a standalone
+  :class:`~repro.core.dynamic.DynamicPimCounter` replaying the same batches
+  (and to the :func:`~repro.graph.triangles.count_triangles` oracle);
+* a delete round reports the logical edges removed and restores the count
+  of the remaining graph;
+* each session's NDJSON event stream is schema-valid and join-complete
+  (``repro-validate --require-complete`` exits 0).
+
+Run it locally with ``python tools/service_smoke.py``; exits non-zero on
+any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.dynamic import DynamicPimCounter  # noqa: E402
+from repro.graph.generators import erdos_renyi  # noqa: E402
+from repro.graph.triangles import count_triangles  # noqa: E402
+from repro.observability.validate import main as validate_main  # noqa: E402
+from repro.service import ServiceClient, wait_ready  # noqa: E402
+
+BATCH = 64
+SESSIONS = (
+    # name, nodes, edges, colors, seed
+    ("alpha", 90, 500, 3, 11),
+    ("beta", 120, 800, 4, 22),
+)
+
+
+def drive_session(url: str, name: str, graph, colors: int, seed: int, out: dict):
+    with ServiceClient(url) as client:
+        client.open_session(
+            name, num_nodes=graph.num_nodes, num_colors=colors, seed=seed
+        )
+        client.insert_graph(name, graph, batch_edges=BATCH)
+        view = client.count(name)
+        half = graph.slice(0, graph.num_edges // 2)
+        removed = client.delete(name, half.src, half.dst)
+        after = client.count(name)
+        client.close_session(name)
+    out[name] = {"full": view, "removed": removed, "after": after}
+
+
+def main() -> int:
+    graphs = {
+        name: erdos_renyi(
+            n, m, np.random.default_rng(seed), name=name
+        ).canonicalize()
+        for name, n, m, colors, seed in SESSIONS
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        ready = os.path.join(tmp, "addr.txt")
+        events = os.path.join(tmp, "events")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "from repro.service.server import main; raise SystemExit(main())",
+                "--port", "0", "--ready-file", ready,
+                "--max-sessions", "4", "--event-dir", events,
+            ],
+            env={**os.environ, "PYTHONPATH": os.path.join(ROOT, "src")},
+        )
+        try:
+            deadline_url = None
+            for _ in range(200):
+                if os.path.exists(ready):
+                    deadline_url = open(ready).read().strip()
+                    break
+                server.poll()
+                if server.returncode is not None:
+                    print("server exited before becoming ready", file=sys.stderr)
+                    return 1
+                threading.Event().wait(0.05)
+            if not deadline_url:
+                print("server never wrote its ready file", file=sys.stderr)
+                return 1
+            url = deadline_url
+            wait_ready(url, timeout=10)
+
+            results: dict = {}
+            threads = [
+                threading.Thread(
+                    target=drive_session,
+                    args=(url, name, graphs[name], colors, seed, results),
+                )
+                for name, _, _, colors, seed in SESSIONS
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            if set(results) != {name for name, *_ in SESSIONS}:
+                print(f"sessions missing from results: {results}", file=sys.stderr)
+                return 1
+
+            for name, _, _, colors, seed in SESSIONS:
+                graph = graphs[name]
+                dyn = DynamicPimCounter(graph.num_nodes, num_colors=colors, seed=seed)
+                for start in range(0, graph.num_edges, BATCH):
+                    dyn.apply_update(graph.slice(start, min(start + BATCH, graph.num_edges)))
+                got = results[name]
+                truth = count_triangles(graph)
+                assert got["full"]["triangles"] == dyn.triangles == truth, (
+                    f"{name}: service={got['full']['triangles']} "
+                    f"standalone={dyn.triangles} oracle={truth}"
+                )
+                half = graph.slice(0, graph.num_edges // 2)
+                rest = graph.slice(graph.num_edges // 2, graph.num_edges)
+                assert got["removed"]["removed_edges"] == half.num_edges, got["removed"]
+                assert got["after"]["triangles"] == count_triangles(rest), got["after"]
+                assert got["after"]["cumulative_edges"] == rest.num_edges, got["after"]
+                print(
+                    f"parity OK: session={name} triangles={truth} "
+                    f"after-delete={got['after']['triangles']}"
+                )
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+
+        streams = [os.path.join(events, f"{name}.ndjson") for name, *_ in SESSIONS]
+        for stream in streams:
+            assert os.path.exists(stream), f"missing event stream {stream}"
+        rc = validate_main([*streams, "--require-complete"])
+        if rc != 0:
+            print("NDJSON stream validation failed", file=sys.stderr)
+            return rc
+        print(f"service smoke OK: {len(SESSIONS)} concurrent sessions, "
+              f"streams join-complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
