@@ -180,6 +180,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--session", default=None, metavar="NAME",
                         help="with --serve-url: session name to open "
                              "(default: derived from the graph name)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="S",
+                        help="with --serve-url: per-request deadline, "
+                             "distinct from the 60s connect timeout (a "
+                             "count that drains a deep queue may need more)")
     parser.add_argument("--verify", action="store_true",
                         help="run the library's invariant self-checks first")
     parser.add_argument("--fuzz", type=int, default=None, metavar="N",
@@ -335,24 +340,36 @@ def _count_via_service(args, graph: COOGraph, mg_k: int, mg_t: int) -> int:
     if not name:
         name = "cli"
     batch_edges = args.batch_edges or 10_000
-    with ServiceClient(args.serve_url) as client:
-        opened = client.open_session(
-            name,
-            num_nodes=graph.num_nodes,
-            num_colors=args.colors,
-            seed=args.seed,
-            misra_gries_k=mg_k,
-            misra_gries_t=mg_t,
-        )
-        try:
-            client.insert_graph(name, graph, batch_edges=batch_edges)
-            view = client.count(name)
-            stats = client.stats(name)
-        finally:
+    deadline = args.request_timeout
+    try:
+        with ServiceClient(args.serve_url) as client:
+            opened = client.open_session(
+                name,
+                num_nodes=graph.num_nodes,
+                num_colors=args.colors,
+                seed=args.seed,
+                misra_gries_k=mg_k,
+                misra_gries_t=mg_t,
+            )
             try:
-                client.close_session(name)
-            except ServiceError:
-                pass  # already reaped/closed; the count above still stands
+                client.insert_graph(
+                    name, graph, batch_edges=batch_edges, timeout=deadline
+                )
+                view = client.count(name, timeout=deadline)
+                stats = client.stats(name, timeout=deadline)
+            finally:
+                try:
+                    client.close_session(name)
+                except ServiceError:
+                    pass  # already reaped/closed; the count above still stands
+    except ServiceError as exc:
+        if exc.code != "connection_lost":
+            raise
+        print(
+            f"error: {exc} (op={exc.op!r}, trace_id={exc.trace_id})",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"triangles (exact, via {args.serve_url} session {name!r}): "
         f"{view['triangles']}"

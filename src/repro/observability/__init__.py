@@ -21,7 +21,12 @@ whether the Misra-Gries remap (Sec. 3.5) actually flattened the skew:
   store (``repro-history``) and the rolling-window trend regression
   detector that extends the bench gate from point diffs to trajectories;
 * :mod:`repro.observability.validate` — the ``repro-validate`` schema
-  checker over RunReport JSON and NDJSON artifacts.
+  checker over RunReport JSON and NDJSON artifacts;
+* :mod:`repro.observability.promtext` — Prometheus text / JSON rendering of
+  the service's ``repro-service-metrics/1`` snapshot (the ``metrics``
+  protocol op, ``repro-serve --metrics-out``);
+* :mod:`repro.observability.top` — the ``repro-top`` live dashboard over a
+  running server (metrics op + NDJSON stream tails).
 
 Collection is **observation only**: it reads uncharged simulator state and
 never touches the :class:`~repro.pimsim.kernel.SimClock`, the
@@ -47,8 +52,15 @@ from .logjson import (
     stream_status,
     validate_ndjson_events,
 )
+from .promtext import (
+    SERVICE_METRICS_SCHEMA,
+    parse_prometheus,
+    render_prometheus,
+    write_snapshot,
+)
 from .report import imbalance_heatmap_svg, render_imbalance_report
-from .watch import render_stream, summarize_stream
+from .top import render_top
+from .watch import heartbeat_cell, render_stream, summarize_stream
 
 __all__ = [
     "ImbalanceLedger",
@@ -70,4 +82,10 @@ __all__ = [
     "RunHistory",
     "detect_trends",
     "flatten_numeric",
+    "SERVICE_METRICS_SCHEMA",
+    "parse_prometheus",
+    "render_prometheus",
+    "write_snapshot",
+    "render_top",
+    "heartbeat_cell",
 ]

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..telemetry.export import ACCEPTED_RUN_REPORT_SCHEMAS
+from .promtext import SERVICE_METRICS_SCHEMA
 
 __all__ = [
     "HISTORY_SCHEMA_VERSION",
@@ -199,6 +200,8 @@ class RunHistory:
             return [self._ingest_report(document, schema, source, stamp)]
         if isinstance(schema, str) and schema.startswith("repro-bench-"):
             return self._ingest_bench(document, schema, source, stamp)
+        if schema == SERVICE_METRICS_SCHEMA:
+            return self._ingest_service(document, schema, source, stamp)
         raise ValueError(f"cannot ingest schema {schema!r}")
 
     def ingest_file(self, path: str, ingested_at: float | None = None) -> list[int]:
@@ -330,6 +333,77 @@ class RunHistory:
                     phases=phases,
                     phase_walls={},
                     samples=samples,
+                )
+            )
+        return refs
+
+    def _ingest_service(
+        self, document: dict, schema: str, source: str, stamp: float
+    ) -> list[int]:
+        """One row for the server plus one per session block.
+
+        Registry exports flatten exactly like run-report metrics (counters
+        and gauges to their value, histograms to ``.sum``/``.count``); the
+        precomputed ``latency`` summaries land as ``…latency.<op>.p50`` etc,
+        which is what the service-latency trend rules gate.
+        """
+        samples = flatten_numeric(document.get("service") or {})
+        samples.update(
+            flatten_numeric(
+                document.get("latency") or {}, prefix="service.latency"
+            )
+        )
+        for key in ("uptime_seconds", "sessions_open", "max_sessions"):
+            value = document.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                samples[f"service.{key}"] = float(value)
+        refs = [
+            self._insert_run(
+                run_id=None,
+                schema=schema,
+                kind="service",
+                graph="service",
+                source=source,
+                stamp=stamp,
+                kernel=None,
+                executor=None,
+                partitioner=None,
+                config={},
+                document=document,
+                phases={},
+                phase_walls={},
+                samples=samples,
+            )
+        ]
+        for name, block in sorted((document.get("sessions") or {}).items()):
+            if not isinstance(block, dict):
+                continue
+            session_samples = flatten_numeric(block.get("metrics") or {})
+            session_samples.update(
+                flatten_numeric(
+                    block.get("latency") or {}, prefix="session.latency"
+                )
+            )
+            for key in ("pending", "resident_bytes", "rounds"):
+                value = block.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    session_samples[f"session.{key}"] = float(value)
+            refs.append(
+                self._insert_run(
+                    run_id=None,
+                    schema=schema,
+                    kind="service-session",
+                    graph=f"session:{name}",
+                    source=source,
+                    stamp=stamp,
+                    kernel=None,
+                    executor=None,
+                    partitioner=None,
+                    config={},
+                    document=block,
+                    phases={},
+                    phase_walls={},
+                    samples=session_samples,
                 )
             )
         return refs
@@ -484,6 +558,23 @@ class TrendRule:
 #: are exact; wall-clock and speedup columns are honest timings and only
 #: warn.  Metrics matching no rule are stored but not gated.
 TREND_RULES: tuple[TrendRule, ...] = (
+    # Service-latency series (repro-service-metrics/1) come first so the
+    # generic exact rules below never claim them: every one is wall-derived
+    # or depends on the op mix a smoke script happens to drive, so drift
+    # only warns — same philosophy as wall_seconds.
+    TrendRule(
+        re.compile(
+            r"(^|\.)(op_latency_seconds|op_sim_seconds|queue_wait_seconds"
+            r"|requests|rejections|ops)\."
+        ),
+        "higher_worse",
+        "warn",
+    ),
+    TrendRule(
+        re.compile(r"(^|\.)latency\.[^.]+\.(n|mean|p50|p99)$"),
+        "higher_worse",
+        "warn",
+    ),
     TrendRule(re.compile(r"(^|\.)counts_match"), "exact", "hard"),
     TrendRule(re.compile(r"(^|\.)simulated_identical$"), "exact", "hard"),
     TrendRule(re.compile(r"(^|\.)count(_monolithic|_batched)?$"), "exact", "hard"),

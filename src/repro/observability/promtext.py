@@ -1,0 +1,233 @@
+"""Prometheus text exposition for the service metrics snapshot.
+
+The ``metrics`` protocol op (and ``repro-serve --metrics-out``) produce a
+``repro-service-metrics/1`` JSON document: the server's
+:meth:`~repro.telemetry.metrics.MetricsRegistry.export` plus one block per
+open session.  This module renders that document in the Prometheus text
+format — ``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=…}``
+histogram series, label-split families — so any off-the-shelf scraper can
+ingest a snapshot file, and provides the minimal parser the CI smoke job
+uses to prove the output is well-formed.
+
+Name mapping: dotted registry names become underscore families under the
+``repro_`` prefix, and the families that fan out per op / per error code
+(``service.op_latency_seconds.count`` …) collapse into one family with an
+``op=`` / ``code=`` label, which is the idiomatic Prometheus shape.
+Session-level instruments additionally carry ``session="<name>"``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterator
+
+__all__ = [
+    "SERVICE_METRICS_SCHEMA",
+    "parse_prometheus",
+    "render_json",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "write_snapshot",
+]
+
+#: Schema tag of the snapshot document (the ``metrics`` op result, the
+#: ``--metrics-out`` file, and the run-history ingest branch all use it).
+SERVICE_METRICS_SCHEMA = "repro-service-metrics/1"
+
+#: Every family starts with this so scraped series are namespaced.
+PROM_PREFIX = "repro_"
+
+#: Registry-name prefixes whose last dotted component is a label, not part
+#: of the family name (the per-op / per-code fan-outs).
+LABEL_FAMILIES = {
+    "service.requests": "op",
+    "service.op_latency_seconds": "op",
+    "service.rejections": "code",
+    "session.ops": "op",
+    "session.op_latency_seconds": "op",
+    "session.op_sim_seconds": "op",
+    "session.rejections": "code",
+}
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_LABELS_OK = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*,?$'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted registry name -> legal Prometheus metric name."""
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not flat or not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    v = float(value)
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return format(v, ".10g")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(val))}"' for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _split_family(name: str) -> tuple[str, dict[str, str]]:
+    """Peel the per-op / per-code leaf off into a label when applicable."""
+    prefix, _, leaf = name.rpartition(".")
+    label = LABEL_FAMILIES.get(prefix)
+    if label is not None and leaf:
+        return prefix, {label: leaf}
+    return name, {}
+
+
+def _iter_entries(doc: dict) -> Iterator[tuple[str, dict[str, str], dict]]:
+    """Yield ``(registry_name, base_labels, entry)`` across the document."""
+    for name, entry in (doc.get("service") or {}).items():
+        yield name, {}, entry
+    for session, block in (doc.get("sessions") or {}).items():
+        for name, entry in (block.get("metrics") or {}).items():
+            yield name, {"session": session}, entry
+
+
+def render_prometheus(doc: dict) -> str:
+    """The snapshot document in Prometheus text exposition format."""
+    families: dict[str, dict[str, Any]] = {}
+    for name, base_labels, entry in _iter_entries(doc):
+        kind = entry.get("kind", "gauge")
+        family_key, split_labels = _split_family(name)
+        prom = PROM_PREFIX + sanitize_metric_name(family_key.replace(".", "_"))
+        if kind == "counter" and not prom.endswith("_total"):
+            prom += "_total"
+        family = families.setdefault(
+            prom, {"type": kind, "help": entry.get("help", ""), "samples": []}
+        )
+        if not family["help"] and entry.get("help"):
+            family["help"] = entry["help"]
+        labels = {**base_labels, **split_labels}
+        if kind == "histogram":
+            cumulative = 0
+            for bound, bucket_count in zip(entry["buckets"], entry["counts"]):
+                cumulative += int(bucket_count)
+                family["samples"].append(
+                    (
+                        prom + "_bucket",
+                        {**labels, "le": _format_value(bound)},
+                        cumulative,
+                    )
+                )
+            family["samples"].append(
+                (prom + "_bucket", {**labels, "le": "+Inf"}, int(entry["count"]))
+            )
+            family["samples"].append((prom + "_sum", labels, float(entry["sum"])))
+            family["samples"].append((prom + "_count", labels, int(entry["count"])))
+        else:
+            family["samples"].append((prom, labels, float(entry.get("value", 0.0))))
+    lines: list[str] = []
+    for prom in sorted(families):
+        family = families[prom]
+        if family["help"]:
+            lines.append(f"# HELP {prom} {family['help']}")
+        lines.append(f"# TYPE {prom} {family['type']}")
+        for sample_name, labels, value in family["samples"]:
+            lines.append(
+                f"{sample_name}{_format_labels(labels)} {_format_value(value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(doc: dict) -> str:
+    """The snapshot document as stable, diffable JSON."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_snapshot(path: str, doc: dict) -> None:
+    """Write ``doc`` to ``path``; suffix picks the format.
+
+    ``.prom`` / ``.txt`` / ``.text`` get the Prometheus text rendering,
+    anything else the JSON snapshot (the form ``repro-history`` ingests).
+    """
+    lowered = path.lower()
+    if lowered.endswith((".prom", ".txt", ".text")):
+        payload = render_prometheus(doc)
+    else:
+        payload = render_json(doc)
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+_VALID_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Minimal strict parser for the exposition format (the CI check).
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels, value)]}}``
+    and raises :class:`ValueError` on any malformed line, unknown ``# TYPE``,
+    unparsable sample value, or sample whose family was never typed — enough
+    rigor to prove :func:`render_prometheus` emits what a real scraper eats.
+    """
+    families: dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in _VALID_TYPES:
+                    raise ValueError(f"line {lineno}: unknown TYPE {kind!r}")
+                families.setdefault(
+                    parts[2], {"type": kind, "help": "", "samples": []}
+                )["type"] = kind
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                families.setdefault(
+                    parts[2], {"type": None, "help": "", "samples": []}
+                )["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a valid sample line: {line!r}")
+        name = match.group("name")
+        labels_src = match.group("labels") or ""
+        if labels_src and not _LABELS_OK.match(labels_src):
+            raise ValueError(f"line {lineno}: malformed labels {labels_src!r}")
+        labels = dict(_LABEL_PAIR.findall(labels_src))
+        value_src = match.group("value")
+        try:
+            value = float(value_src.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable sample value {value_src!r}"
+            ) from None
+        family = name
+        if family not in families:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    family = name[: -len(suffix)]
+                    break
+        if family not in families or families[family]["type"] is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE")
+        families[family]["samples"].append((name, labels, value))
+    return families

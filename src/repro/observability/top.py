@@ -1,0 +1,214 @@
+"""``repro-top`` — live terminal dashboard over a running ``repro-serve``.
+
+Polls the service's ``metrics`` protocol op and renders the server-wide
+header (uptime, open sessions, request and rejection totals) plus one table
+row per session: pending queue depth, resident bytes, executed ops, p50/p99
+op latency (combined across the per-op histograms in the snapshot), and —
+when ``--event-dir`` points at the server's NDJSON directory — the last
+heartbeat / ETA of each session's event stream, tailed incrementally with
+:class:`~repro.observability.logjson.NdjsonTailer` (safe to race the
+writer).
+
+Scraping is observation-only by construction: the ``metrics`` op reads
+instrument snapshots and never touches a counter, so watching a server
+cannot change any simulated number.
+
+Usage::
+
+    repro-top 127.0.0.1:7707                      # refresh every 2s, ^C quits
+    repro-top 127.0.0.1:7707 --event-dir events/  # + per-session heartbeats
+    repro-top 127.0.0.1:7707 --once               # single snapshot (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from ..telemetry.metrics import quantile_from_snapshot
+from .logjson import NdjsonTailer
+from .watch import heartbeat_cell, summarize_stream
+
+__all__ = ["main", "render_top"]
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def _combined_latency(metrics: dict, prefix: str) -> dict | None:
+    """Merge the per-op latency histograms into one synthetic snapshot.
+
+    All latency histograms share the same fixed buckets, so their counts add
+    elementwise — the only sound way to get a session-wide p50/p99 without a
+    dedicated all-ops histogram.
+    """
+    combined: dict | None = None
+    for name, entry in (metrics or {}).items():
+        if not name.startswith(prefix):
+            continue
+        if entry.get("kind") != "histogram" or not entry.get("count"):
+            continue
+        if combined is None:
+            combined = {
+                "buckets": list(entry["buckets"]),
+                "counts": list(entry["counts"]),
+                "sum": float(entry["sum"]),
+                "count": int(entry["count"]),
+                "min": entry.get("min"),
+                "max": entry.get("max"),
+            }
+            continue
+        combined["counts"] = [
+            a + b for a, b in zip(combined["counts"], entry["counts"])
+        ]
+        combined["sum"] += float(entry["sum"])
+        combined["count"] += int(entry["count"])
+        for key, pick in (("min", min), ("max", max)):
+            if entry.get(key) is not None:
+                combined[key] = (
+                    entry[key]
+                    if combined[key] is None
+                    else pick(combined[key], entry[key])
+                )
+    return combined
+
+
+def _counter_totals(metrics: dict, prefix: str) -> dict[str, float]:
+    """``{leaf: value}`` of every counter under a dotted prefix."""
+    out: dict[str, float] = {}
+    for name, entry in (metrics or {}).items():
+        if name.startswith(prefix) and entry.get("kind") == "counter":
+            out[name[len(prefix):]] = float(entry.get("value", 0.0))
+    return out
+
+
+def _ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.2f}"
+
+
+def render_top(
+    doc: dict,
+    streams: dict[str, list[dict]] | None = None,
+    now: float | None = None,
+) -> str:
+    """The dashboard body for one ``metrics`` snapshot (pure; unit-testable)."""
+    streams = streams or {}
+    service = doc.get("service") or {}
+    requests = _counter_totals(service, "service.requests.")
+    rejections = {
+        code: int(v)
+        for code, v in _counter_totals(service, "service.rejections.").items()
+        if v
+    }
+    head = (
+        f"repro-serve — up {float(doc.get('uptime_seconds', 0.0)):.0f}s  "
+        f"sessions {doc.get('sessions_open', 0)}/{doc.get('max_sessions', '?')}  "
+        f"requests {int(sum(requests.values()))}"
+    )
+    if rejections:
+        head += "  rejections " + " ".join(
+            f"{code}:{count}" for code, count in sorted(rejections.items())
+        )
+    lines = [head]
+    if not doc.get("observability", True):
+        lines.append("(observability plane disabled — no latency/trace data)")
+    sessions = doc.get("sessions") or {}
+    if not sessions:
+        lines.append("(no open sessions)")
+        return "\n".join(lines)
+    header = (
+        f"{'SESSION':<18} {'PENDING':>7} {'RESIDENT':>12} {'OPS':>6} "
+        f"{'P50MS':>8} {'P99MS':>8}  HEARTBEAT"
+    )
+    lines.append(header)
+    for name in sorted(sessions):
+        block = sessions[name]
+        metrics = block.get("metrics") or {}
+        ops = int(sum(_counter_totals(metrics, "session.ops.").values()))
+        combined = _combined_latency(metrics, "session.op_latency_seconds.")
+        p50 = p99 = None
+        if combined is not None:
+            p50 = quantile_from_snapshot(combined, 0.50)
+            p99 = quantile_from_snapshot(combined, 0.99)
+        records = streams.get(name)
+        cell = (
+            heartbeat_cell(summarize_stream(records), now=now)
+            if records
+            else "-"
+        )
+        lines.append(
+            f"{name:<18} {int(block.get('pending', 0)):>7} "
+            f"{int(block.get('resident_bytes', 0)):>12,} {ops:>6} "
+            f"{_ms(p50):>8} {_ms(p99):>8}  {cell}"
+        )
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live dashboard over a running repro-serve: polls the "
+        "metrics op and tails per-session NDJSON streams.",
+    )
+    parser.add_argument("url", help="server address (HOST:PORT or tcp://HOST:PORT)")
+    parser.add_argument("--event-dir", default=None, metavar="DIR",
+                        help="the server's --event-dir; adds per-session "
+                             "heartbeat/ETA cells tailed from the NDJSON "
+                             "streams")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="refresh interval (default 2s)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (CI mode)")
+    parser.add_argument("--iterations", type=int, default=None, metavar="N",
+                        help="exit after N refreshes (default: until ^C)")
+    parser.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="connect / per-request timeout (default 10s)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    # Imported here so repro.observability never drags the service package
+    # (and its numpy-heavy session machinery) in at import time.
+    from ..service.client import ServiceClient, ServiceError
+
+    iterations = 1 if args.once else args.iterations
+    tailers: dict[str, NdjsonTailer] = {}
+    done = 0
+    try:
+        with ServiceClient(args.url, timeout=args.timeout) as client:
+            while True:
+                try:
+                    doc = client.metrics()
+                except ServiceError as exc:
+                    print(f"repro-top: {exc}", file=sys.stderr)
+                    return 1
+                streams: dict[str, list[dict]] = {}
+                if args.event_dir:
+                    for name in doc.get("sessions") or {}:
+                        if name not in tailers:
+                            tailers[name] = NdjsonTailer(
+                                os.path.join(args.event_dir, f"{name}.ndjson")
+                            )
+                    for name, tailer in tailers.items():
+                        tailer.poll()
+                        streams[name] = tailer.records
+                body = render_top(doc, streams, now=time.time())
+                if iterations == 1 or not sys.stdout.isatty():
+                    print(body, flush=True)
+                else:
+                    print(_CLEAR + body, flush=True)
+                done += 1
+                if iterations is not None and done >= iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, TimeoutError) as exc:
+        print(f"repro-top: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,12 +57,30 @@ def validate_path(path: str, require_complete: bool = False) -> list[str]:
     return validate_run_report(document)
 
 
-def _expand(patterns: list[str]) -> list[str]:
+def _has_magic(pattern: str) -> bool:
+    return any(ch in pattern for ch in "*?[")
+
+
+def _expand(patterns: list[str]) -> tuple[list[str], list[str]]:
+    """Expand globs; returns ``(paths, errors)``.
+
+    A glob that matches nothing is an error, not a silent no-op — a CI line
+    like ``repro-validate 'events/*.ndjson'`` must fail loudly when the run
+    produced no streams instead of exiting 0 having validated nothing.
+    Literal paths pass through and fail later as unreadable if missing.
+    """
     paths: list[str] = []
+    errors: list[str] = []
     for pattern in patterns:
-        matches = sorted(globlib.glob(pattern))
-        paths.extend(matches if matches else [pattern])
-    return paths
+        if _has_magic(pattern):
+            matches = sorted(globlib.glob(pattern))
+            if matches:
+                paths.extend(matches)
+            else:
+                errors.append(f"glob {pattern!r} matched no files")
+        else:
+            paths.append(pattern)
+    return paths, errors
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,8 +99,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="print only failing files")
     args = parser.parse_args(argv)
 
+    paths, expand_errors = _expand(args.paths)
+    for error in expand_errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    if not paths:
+        print("no artifacts to validate", file=sys.stderr)
+        return 2
     failed = 0
-    paths = _expand(args.paths)
     for path in paths:
         errors = validate_path(path, require_complete=args.require_complete)
         if errors:
@@ -94,7 +117,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"ok   {path}")
     if failed:
         print(f"{failed}/{len(paths)} artifacts invalid", file=sys.stderr)
-    return 1 if failed else 0
+    # An empty glob is fatal even when every expanded artifact validated.
+    return 1 if (failed or expand_errors) else 0
 
 
 if __name__ == "__main__":

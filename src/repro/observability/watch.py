@@ -27,7 +27,7 @@ import time
 
 from .logjson import NdjsonTailer, load_ndjson, stream_status, validate_ndjson_events
 
-__all__ = ["main", "render_stream", "summarize_stream"]
+__all__ = ["heartbeat_cell", "main", "render_stream", "summarize_stream"]
 
 
 def summarize_stream(records: list[dict]) -> dict:
@@ -71,6 +71,25 @@ def summarize_stream(records: list[dict]) -> dict:
             if record.get("status") != "ok":
                 view["error"] = record.get("error") or record.get("message")
     return view
+
+
+def heartbeat_cell(view: dict, now: float | None = None) -> str:
+    """One-cell heartbeat summary of a :func:`summarize_stream` view.
+
+    The compact form the ``repro-top`` sessions table uses: batch progress,
+    simulated-clock ETA, and (given ``now``) the age of the last event —
+    or ``-`` when the stream has no heartbeat yet.
+    """
+    hb = view.get("heartbeat")
+    if not hb:
+        return "-"
+    done = int(hb.get("batch", 0)) + 1
+    total = int(hb.get("batches_total", done))
+    eta = float(hb.get("eta_sim_seconds", 0.0))
+    cell = f"batch {done}/{total} ETA {eta * 1e3:.2f}ms"
+    if now is not None and view.get("last_ts") is not None:
+        cell += f" ({max(0.0, now - view['last_ts']):.0f}s ago)"
+    return cell
 
 
 def _bar(done: int, total: int, width: int = 24) -> str:

@@ -18,11 +18,18 @@ arithmetic.
 """
 
 from .client import ServiceClient, ServiceError, parse_url, wait_ready
-from .protocol import ERROR_CODES, MAX_FRAME_BYTES, ProtocolError
+from .protocol import (
+    CLIENT_ERROR_CODES,
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    new_trace_id,
+)
 from .server import ServiceConfig, TriangleService
 from .session import GraphSession, SessionError
 
 __all__ = [
+    "CLIENT_ERROR_CODES",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "GraphSession",
@@ -32,6 +39,7 @@ __all__ = [
     "ServiceError",
     "SessionError",
     "TriangleService",
+    "new_trace_id",
     "parse_url",
     "wait_ready",
 ]

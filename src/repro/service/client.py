@@ -15,6 +15,14 @@ One client drives one connection; requests on it are strictly sequential.
 Open several clients for concurrency — per-session ordering is enforced
 server-side by the session queue, so interleaving clients never changes a
 session's final count.
+
+Every request carries a ``trace_id`` (caller-supplied or generated here);
+the server echoes it in the response and stamps it into the session's
+NDJSON events, so one client-side log line joins against the server-side
+stream.  A connection that dies mid-request — truncated frame, server EOF,
+socket timeout — surfaces as ``ServiceError("connection_lost", …)`` with
+the in-flight ``op`` and ``trace_id`` attached, never as a raw socket or
+struct error.
 """
 
 from __future__ import annotations
@@ -25,18 +33,31 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from .protocol import recv_frame, send_frame
+from .protocol import ProtocolError, new_trace_id, recv_frame, send_frame
 
 __all__ = ["ServiceClient", "ServiceError", "parse_url", "wait_ready"]
 
 
 class ServiceError(Exception):
-    """Application error from the server, carrying its protocol code."""
+    """Application error from the server, carrying its protocol code.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``op`` and ``trace_id`` identify the request that failed (always set on
+    ``connection_lost`` errors raised client-side, and on any error response
+    to a traced request).
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        op: str | None = None,
+        trace_id: str | None = None,
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.op = op
+        self.trace_id = trace_id
 
 
 def parse_url(url: str) -> tuple[str, int]:
@@ -73,18 +94,62 @@ class ServiceClient:
 
     def __init__(self, url: str, timeout: float = 60.0) -> None:
         self.url = url
+        #: Connect timeout, and the default per-request deadline.
+        self.timeout = timeout
+        #: Trace id of the most recent request (echo-verified).
+        self.last_trace_id: str | None = None
         host, port = parse_url(url)
         self._sock = socket.create_connection((host, port), timeout=timeout)
 
     # ------------------------------------------------------------------ plumbing
-    def request(self, op: str, **fields: Any) -> dict:
-        """One request/response round trip; raises :class:`ServiceError`."""
-        send_frame(self._sock, {"op": op, **fields})
-        response = recv_frame(self._sock)
+    def request(
+        self, op: str, *, timeout: float | None = None, **fields: Any
+    ) -> dict:
+        """One request/response round trip; raises :class:`ServiceError`.
+
+        ``timeout`` overrides the connect-time default for this request only
+        (a count that drains a deep queue may deserve more patience than a
+        ping).  Passes ``trace_id`` through when the caller set one and
+        generates a fresh id otherwise; the server's echo is verified.
+        """
+        trace_id = fields.pop("trace_id", None) or new_trace_id()
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            send_frame(self._sock, {"op": op, "trace_id": trace_id, **fields})
+            response = recv_frame(self._sock)
+        except (ProtocolError, OSError) as exc:
+            # The connection state is unknown mid-frame: poison it so the
+            # next request fails fast instead of desynchronizing.
+            self.close()
+            raise ServiceError(
+                "connection_lost",
+                f"connection to {self.url} lost during {op!r}: "
+                f"{type(exc).__name__}: {exc}",
+                op=op,
+                trace_id=trace_id,
+            ) from exc
+        finally:
+            if timeout is not None:
+                try:
+                    self._sock.settimeout(self.timeout)
+                except OSError:
+                    pass  # already closed by the connection_lost path
+        self.last_trace_id = trace_id
+        echoed = response.get("trace_id")
+        if echoed is not None and echoed != trace_id:
+            raise ServiceError(
+                "internal_error",
+                f"server echoed trace_id {echoed!r} for request {trace_id!r}",
+                op=op,
+                trace_id=trace_id,
+            )
         if not response.get("ok"):
             raise ServiceError(
                 response.get("error", "internal_error"),
                 response.get("message", "unspecified error"),
+                op=op,
+                trace_id=trace_id,
             )
         return response
 
@@ -109,33 +174,53 @@ class ServiceClient:
         memory_budget_bytes, max_queue_depth."""
         return self.request("open", session=session, num_nodes=int(num_nodes), **options)
 
-    def insert(self, session: str, src, dst) -> dict:
+    def insert(self, session: str, src, dst, *, timeout: float | None = None) -> dict:
         return self.request(
-            "insert", session=session, src=_edge_list(src), dst=_edge_list(dst)
+            "insert", session=session, src=_edge_list(src), dst=_edge_list(dst),
+            timeout=timeout,
         )
 
-    def delete(self, session: str, src, dst) -> dict:
+    def delete(self, session: str, src, dst, *, timeout: float | None = None) -> dict:
         return self.request(
-            "delete", session=session, src=_edge_list(src), dst=_edge_list(dst)
+            "delete", session=session, src=_edge_list(src), dst=_edge_list(dst),
+            timeout=timeout,
         )
 
-    def insert_graph(self, session: str, graph, batch_edges: int = 10_000) -> list[dict]:
+    def insert_graph(
+        self,
+        session: str,
+        graph,
+        batch_edges: int = 10_000,
+        *,
+        timeout: float | None = None,
+    ) -> list[dict]:
         """Stream a :class:`~repro.graph.coo.COOGraph` in bounded batches."""
         results = []
         for start in range(0, graph.num_edges, batch_edges):
             stop = min(start + batch_edges, graph.num_edges)
             results.append(
-                self.insert(session, graph.src[start:stop], graph.dst[start:stop])
+                self.insert(
+                    session,
+                    graph.src[start:stop],
+                    graph.dst[start:stop],
+                    timeout=timeout,
+                )
             )
         return results
 
-    def count(self, session: str) -> dict:
-        return self.request("count", session=session)
+    def count(self, session: str, *, timeout: float | None = None) -> dict:
+        return self.request("count", session=session, timeout=timeout)
 
-    def stats(self, session: str | None = None) -> dict:
+    def stats(
+        self, session: str | None = None, *, timeout: float | None = None
+    ) -> dict:
         if session is None:
-            return self.request("stats")
-        return self.request("stats", session=session)
+            return self.request("stats", timeout=timeout)
+        return self.request("stats", session=session, timeout=timeout)
 
-    def close_session(self, session: str) -> dict:
-        return self.request("close", session=session)
+    def metrics(self, *, timeout: float | None = None) -> dict:
+        """The server's ``repro-service-metrics/1`` observability snapshot."""
+        return self.request("metrics", timeout=timeout)
+
+    def close_session(self, session: str, *, timeout: float | None = None) -> dict:
+        return self.request("close", session=session, timeout=timeout)

@@ -33,9 +33,21 @@ Request vocabulary (``op``):
 ``stats``
     Per-session accounting (edges, rounds, bytes, simulated seconds), or
     the server-wide view when ``session`` is omitted.
+``metrics``
+    The server's observability snapshot (``repro-service-metrics/1``):
+    per-op latency histograms, rejection counters by error code, and a
+    per-session block with queue depth / resident bytes / latency
+    summaries.  Purely observational — scraping never touches a counter.
 ``close``
     Graceful session end: frees the session's DPU state and finishes its
     NDJSON stream with a terminal ``run_end``.
+
+**Request tracing.**  Any request may carry a ``trace_id`` string (the
+client generates one via :func:`new_trace_id` when the caller does not);
+the server echoes it verbatim in the response and stamps it into the
+session's NDJSON ``heartbeat``/``estimate`` events, so one client log line
+joins against the server-side stream.  Tracing is pure metadata: the
+simulated numbers are bit-identical with or without it.
 """
 
 from __future__ import annotations
@@ -44,13 +56,16 @@ import asyncio
 import json
 import socket
 import struct
+import uuid
 from typing import Any
 
 __all__ = [
+    "CLIENT_ERROR_CODES",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "encode_frame",
+    "new_trace_id",
     "read_frame",
     "recv_frame",
     "send_frame",
@@ -69,12 +84,23 @@ ERROR_CODES = (
     "admission_rejected",   # server at max_sessions, open refused
     "backpressure",         # session queue full, retry later
     "budget_exceeded",      # batch would break the session memory budget
+    "connection_lost",      # client-side: socket dropped mid-request
     "duplicate_session",    # open with a name already in use
     "invalid_request",      # malformed frame/op/arguments
     "internal_error",       # unexpected server-side failure
     "session_closed",       # op raced a close/expiry
     "unknown_session",      # no session with that name
 )
+
+#: Codes only ever raised by the client library (the server cannot answer a
+#: request whose connection is gone); the server's rejection counters cover
+#: the rest of :data:`ERROR_CODES`.
+CLIENT_ERROR_CODES = ("connection_lost",)
+
+
+def new_trace_id() -> str:
+    """A fresh request trace id (32 hex chars, collision-safe per client)."""
+    return uuid.uuid4().hex
 
 
 class ProtocolError(Exception):

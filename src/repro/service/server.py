@@ -37,7 +37,19 @@ import time
 from dataclasses import dataclass
 
 from ..common.errors import ConfigurationError, GraphFormatError
-from .protocol import ProtocolError, read_frame, write_frame
+from ..observability.promtext import SERVICE_METRICS_SCHEMA, write_snapshot
+from ..telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    quantile_from_snapshot,
+)
+from .protocol import (
+    CLIENT_ERROR_CODES,
+    ERROR_CODES,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
 from .session import GraphSession, SessionError
 
 __all__ = ["ServiceConfig", "TriangleService", "main"]
@@ -61,6 +73,14 @@ class ServiceConfig:
     idle_timeout: float | None = None
     #: Directory for per-session NDJSON event streams; ``None`` disables them.
     event_dir: str | None = None
+    #: ``False`` turns the observability plane off: no trace stamping into
+    #: events, no metrics, no per-request timing — the parity baseline.
+    observability: bool = True
+    #: Write the metrics snapshot here on shutdown (and every
+    #: ``metrics_interval`` seconds while serving).  ``.prom``/``.txt`` get
+    #: Prometheus text format, anything else the JSON snapshot.
+    metrics_out: str | None = None
+    metrics_interval: float | None = None
 
 
 class TriangleService:
@@ -75,7 +95,24 @@ class TriangleService:
         self.sessions_expired = 0
         self._server: asyncio.base_events.Server | None = None
         self._reaper: asyncio.Task | None = None
+        self._metrics_writer: asyncio.Task | None = None
         self._connections: set[asyncio.Task] = set()
+        self.metrics = MetricsRegistry()
+        if self.config.observability:
+            for code in ERROR_CODES:
+                if code in CLIENT_ERROR_CODES:
+                    continue  # the server never answers a dead connection
+                self.metrics.counter(
+                    f"service.rejections.{code}",
+                    help="requests answered with this protocol error code",
+                )
+            self.metrics.gauge(
+                "service.sessions_open", help="sessions currently registered"
+            )
+            self.metrics.counter("service.sessions_opened", help="sessions opened")
+            self.metrics.counter(
+                "service.sessions_expired", help="sessions reaped by idle expiry"
+            )
 
     # ---------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -89,9 +126,29 @@ class TriangleService:
             self._reaper = asyncio.get_running_loop().create_task(
                 self._reap_idle(), name="session-reaper"
             )
+        if self.config.metrics_out and self.config.metrics_interval:
+            self._metrics_writer = asyncio.get_running_loop().create_task(
+                self._write_metrics_periodically(), name="metrics-writer"
+            )
+
+    async def _write_metrics_periodically(self) -> None:
+        interval = max(0.05, float(self.config.metrics_interval))
+        while True:
+            await asyncio.sleep(interval)
+            self.write_metrics()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, then close every session."""
+        if self._metrics_writer is not None:
+            self._metrics_writer.cancel()
+            try:
+                await self._metrics_writer
+            except asyncio.CancelledError:
+                pass
+            self._metrics_writer = None
+        # Final snapshot while sessions are still registered, so the written
+        # document carries their per-session blocks.
+        self.write_metrics()
         if self._reaper is not None:
             self._reaper.cancel()
             try:
@@ -121,6 +178,11 @@ class TriangleService:
                 if session.stats()["idle_seconds"] > timeout:
                     self.sessions.pop(name, None)
                     self.sessions_expired += 1
+                    if self.config.observability:
+                        self.metrics.counter("service.sessions_expired").inc()
+                        self.metrics.gauge("service.sessions_open").set(
+                            len(self.sessions)
+                        )
                     await session.close()
 
     # ----------------------------------------------------------------- clients
@@ -154,7 +216,19 @@ class TriangleService:
                 pass
 
     async def _dispatch(self, request: dict) -> dict:
+        start = time.perf_counter()
         op = request.get("op")
+        response = await self._dispatch_inner(op, request)
+        if self.config.observability:
+            self._observe_response(op, response, time.perf_counter() - start)
+        trace_id = request.get("trace_id")
+        if isinstance(trace_id, str):
+            # Echo verbatim — on the error path too, so a rejected request
+            # still joins against the client's log line.
+            response["trace_id"] = trace_id
+        return response
+
+    async def _dispatch_inner(self, op, request: dict) -> dict:
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None or (isinstance(op, str) and op.startswith("_")):
             return {
@@ -176,6 +250,22 @@ class TriangleService:
             }
         result.setdefault("ok", True)
         return result
+
+    def _observe_response(self, op, response: dict, elapsed: float) -> None:
+        """Per-request server-side accounting (strictly observation-only)."""
+        name = op if isinstance(op, str) and hasattr(self, f"_op_{op}") else "invalid"
+        self.metrics.counter(
+            f"service.requests.{name}", help="requests dispatched for this op"
+        ).inc()
+        self.metrics.histogram(
+            f"service.op_latency_seconds.{name}",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="wall-clock dispatch latency for this op",
+            volatile=True,
+        ).observe(elapsed)
+        if not response.get("ok"):
+            code = response.get("error", "internal_error")
+            self.metrics.counter(f"service.rejections.{code}").inc()
 
     def _session(self, request: dict) -> GraphSession:
         name = request.get("session")
@@ -239,28 +329,41 @@ class TriangleService:
                 request.get("max_queue_depth", self.config.max_queue_depth)
             ),
             event_log=event_log,
+            observability=self.config.observability,
         )
         session.start()
         self.sessions[name] = session
         self.sessions_opened += 1
+        if self.config.observability:
+            self.metrics.counter("service.sessions_opened").inc()
+            self.metrics.gauge("service.sessions_open").set(len(self.sessions))
         return {
             "session": name,
             "num_dpus": session.counter.partitioner.num_dpus,
             "event_log": event_log,
         }
 
+    @staticmethod
+    def _trace_id(request: dict) -> str | None:
+        trace_id = request.get("trace_id")
+        return trace_id if isinstance(trace_id, str) else None
+
     async def _op_insert(self, request: dict) -> dict:
         session = self._session(request)
         src, dst = self._edge_arrays(request)
-        return await session.submit("insert", src, dst)
+        return await session.submit(
+            "insert", src, dst, trace_id=self._trace_id(request)
+        )
 
     async def _op_delete(self, request: dict) -> dict:
         session = self._session(request)
         src, dst = self._edge_arrays(request)
-        return await session.submit("delete", src, dst)
+        return await session.submit(
+            "delete", src, dst, trace_id=self._trace_id(request)
+        )
 
     async def _op_count(self, request: dict) -> dict:
-        return await self._session(request).count()
+        return await self._session(request).count(trace_id=self._trace_id(request))
 
     async def _op_stats(self, request: dict) -> dict:
         if request.get("session") is not None:
@@ -276,7 +379,88 @@ class TriangleService:
     async def _op_close(self, request: dict) -> dict:
         session = self._session(request)
         self.sessions.pop(session.name, None)
+        if self.config.observability:
+            self.metrics.gauge("service.sessions_open").set(len(self.sessions))
         return await session.close()
+
+    async def _op_metrics(self, request: dict) -> dict:
+        return self.metrics_snapshot()
+
+    # ------------------------------------------------------------- exposition
+    @staticmethod
+    def _latency_summary(registry: MetricsRegistry, prefix: str) -> dict:
+        """Per-op ``{n, mean, p50, p99}`` from the latency histograms.
+
+        Plain floats on purpose: :func:`~repro.observability.history.flatten_numeric`
+        turns them into trendable series (``…latency.<op>.p99``) without any
+        histogram decoding.  The field is ``n`` rather than ``count`` so the
+        op named ``count`` never produces a ``….count.count`` series that the
+        generic exact-match trend rules would claim.
+        """
+        out: dict[str, dict] = {}
+        for name in registry.names():
+            if not name.startswith(prefix):
+                continue
+            instrument = registry.get(name)
+            snap = instrument.snapshot()
+            if snap.get("kind") != "histogram":
+                continue
+            out[name[len(prefix):]] = {
+                "n": int(snap["count"]),
+                "mean": float(instrument.mean),
+                "p50": quantile_from_snapshot(snap, 0.50),
+                "p99": quantile_from_snapshot(snap, 0.99),
+            }
+        return out
+
+    def metrics_snapshot(self) -> dict:
+        """The ``repro-service-metrics/1`` document the ``metrics`` op returns.
+
+        Server-wide instruments plus one block per open session; latency
+        histograms are accompanied by precomputed p50/p99 summaries so text
+        consumers (``repro-top``, the trend gate) never decode buckets.
+        """
+        observing = self.config.observability
+        if observing:
+            self.metrics.gauge("service.sessions_open").set(len(self.sessions))
+        sessions: dict[str, dict] = {}
+        for name, session in sorted(self.sessions.items()):
+            registry = session.telemetry.metrics
+            pending = session._queue.qsize()
+            resident = int(session.counter.resident_bytes)
+            if session.observability:
+                registry.gauge("session.queue_depth").set(pending)
+                registry.gauge("session.resident_bytes").set(resident)
+            sessions[name] = {
+                "metrics": registry.export(),
+                "latency": self._latency_summary(
+                    registry, "session.op_latency_seconds."
+                ),
+                "pending": int(pending),
+                "resident_bytes": resident,
+                "rounds": int(session.batches_applied),
+                "event_log": session.event_log_path,
+            }
+        return {
+            "schema": SERVICE_METRICS_SCHEMA,
+            "generated_at": time.time(),
+            "uptime_seconds": time.time() - self.started_at,
+            "observability": bool(observing),
+            "max_sessions": int(self.config.max_sessions),
+            "sessions_open": len(self.sessions),
+            "service": self.metrics.export(),
+            "latency": self._latency_summary(
+                self.metrics, "service.op_latency_seconds."
+            ),
+            "sessions": sessions,
+        }
+
+    def write_metrics(self) -> str | None:
+        """Write the snapshot to ``config.metrics_out`` (no-op when unset)."""
+        if not self.config.metrics_out:
+            return None
+        write_snapshot(self.config.metrics_out, self.metrics_snapshot())
+        return self.config.metrics_out
 
 
 # ------------------------------------------------------------------ console
@@ -307,6 +491,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ready-file", default=None, metavar="PATH",
                         help="write HOST:PORT here once listening (lets "
                              "scripts find an ephemeral --port 0)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics snapshot here on shutdown "
+                             "(.prom/.txt = Prometheus text, else JSON); "
+                             "combine with --metrics-interval for periodic "
+                             "scrape files")
+    parser.add_argument("--metrics-interval", type=float, default=None,
+                        metavar="S",
+                        help="rewrite --metrics-out every S seconds while "
+                             "serving")
+    parser.add_argument("--no-observability", action="store_true",
+                        help="disable the observability plane (tracing, "
+                             "metrics, per-request timing); counts are "
+                             "bit-identical either way")
     return parser
 
 
@@ -320,6 +517,9 @@ async def _serve(args) -> int:
             memory_budget_bytes=args.memory_budget,
             idle_timeout=args.idle_timeout,
             event_dir=args.event_dir,
+            observability=not args.no_observability,
+            metrics_out=args.metrics_out,
+            metrics_interval=args.metrics_interval,
         )
     )
     await service.start()

@@ -23,6 +23,15 @@ machinery that makes it safe to drive from many concurrent connections:
 Counts requested through :meth:`count` travel through the same queue as the
 edge batches, so a count observes every batch accepted before it — the
 service's only ordering guarantee, and the one the tests pin.
+
+**Observability plane.**  Each session carries its own
+:class:`~repro.telemetry.spans.Telemetry`: every request becomes a span pair
+(``queue_wait`` then ``execute``, wall clock plus the simulated seconds the
+batch charged), its latency lands in per-op histograms, and admission
+rejections increment counters keyed by protocol error code.  All of it is
+observation-only — recorded *around* the counter, never inside it — so
+counts and simulated clocks are bit-identical with the plane on or off
+(``observability=False``), pinned by the differential parity test.
 """
 
 from __future__ import annotations
@@ -36,8 +45,19 @@ import numpy as np
 from ..core.dynamic import DynamicPimCounter
 from ..graph.coo import COOGraph
 from ..observability.logjson import NdjsonLogger
+from ..telemetry.metrics import DEFAULT_LATENCY_BUCKETS
+from ..telemetry.spans import SpanRecord, Telemetry
 
 __all__ = ["GraphSession", "SessionError"]
+
+#: Rolling window of per-request span pairs a session keeps in its tree
+#: (histograms keep the full history; the tree is for recent-request drill-in).
+MAX_TRACE_SPANS = 256
+
+#: Error codes a session itself can reject with (subset of ERROR_CODES).
+_SESSION_REJECT_CODES = (
+    "backpressure", "budget_exceeded", "internal_error", "session_closed",
+)
 
 
 class SessionError(Exception):
@@ -68,8 +88,41 @@ class GraphSession:
         memory_budget_bytes: int | None = None,
         max_queue_depth: int = 8,
         event_log: str | None = None,
+        observability: bool = True,
     ) -> None:
         self.name = name
+        self.observability = bool(observability)
+        self.telemetry = Telemetry(enabled=self.observability)
+        if self.observability:
+            metrics = self.telemetry.metrics
+            for op in ("insert", "delete", "count"):
+                metrics.counter(f"session.ops.{op}", help="requests executed")
+                metrics.histogram(
+                    f"session.op_latency_seconds.{op}",
+                    buckets=DEFAULT_LATENCY_BUCKETS,
+                    help="wall-clock execute time per request",
+                    volatile=True,
+                )
+                metrics.histogram(
+                    f"session.op_sim_seconds.{op}",
+                    buckets=DEFAULT_LATENCY_BUCKETS,
+                    help="simulated seconds charged per request",
+                )
+            metrics.histogram(
+                "session.queue_wait_seconds",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                help="wall-clock time a request waited in the session queue",
+                volatile=True,
+            )
+            for code in _SESSION_REJECT_CODES:
+                metrics.counter(
+                    f"session.rejections.{code}",
+                    help="requests this session rejected with this error code",
+                )
+            metrics.gauge("session.queue_depth", help="pending queued requests")
+            metrics.gauge(
+                "session.resident_bytes", help="resident sample-set footprint"
+            )
         self.counter = DynamicPimCounter(
             num_nodes,
             num_colors=num_colors,
@@ -117,7 +170,10 @@ class GraphSession:
             item = await self._queue.get()
             if item is _CLOSE:
                 break
-            kind, payload, future = item
+            kind, payload, future, trace_id, enqueued_at = item
+            queue_wait = time.perf_counter() - enqueued_at
+            sim_before = self.counter.cumulative_seconds
+            exec_start = time.perf_counter()
             try:
                 if kind == "count":
                     result = self._count_now()
@@ -135,8 +191,99 @@ class GraphSession:
                     )
                     self.logger.close()
                 break
+            timing = self._observe_request(
+                kind,
+                trace_id,
+                queue_wait=queue_wait,
+                exec_wall=time.perf_counter() - exec_start,
+                sim_delta=self.counter.cumulative_seconds - sim_before,
+            )
+            self._emit_event(kind, result, trace_id, timing)
+            if timing is not None:
+                result = {**result, "timing": timing}
             if not future.done():
                 future.set_result(result)
+
+    def _observe_request(
+        self,
+        kind: str,
+        trace_id: str | None,
+        *,
+        queue_wait: float,
+        exec_wall: float,
+        sim_delta: float,
+    ) -> dict[str, float] | None:
+        """Record one request's span pair + latency samples (no-op when off)."""
+        if not self.observability:
+            return None
+        metrics = self.telemetry.metrics
+        metrics.counter(f"session.ops.{kind}").inc()
+        metrics.histogram(
+            "session.queue_wait_seconds", buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(queue_wait)
+        metrics.histogram(
+            f"session.op_latency_seconds.{kind}", buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(exec_wall)
+        metrics.histogram(
+            f"session.op_sim_seconds.{kind}", buckets=DEFAULT_LATENCY_BUCKETS
+        ).observe(sim_delta)
+        metrics.gauge("session.queue_depth").set(self._queue.qsize())
+        metrics.gauge("session.resident_bytes").set(self.counter.resident_bytes)
+        attrs = {"op": kind}
+        if trace_id:
+            attrs["trace_id"] = trace_id
+        self.telemetry.attach_records([
+            SpanRecord("queue_wait", wall_seconds=queue_wait, attrs=attrs),
+            SpanRecord(
+                "execute",
+                wall_seconds=exec_wall,
+                sim_seconds=sim_delta,
+                attrs=attrs,
+            ),
+        ])
+        self.telemetry.prune(2 * MAX_TRACE_SPANS)
+        return {
+            "queue_wait_seconds": float(queue_wait),
+            "execute_wall_seconds": float(exec_wall),
+            "execute_sim_seconds": float(sim_delta),
+        }
+
+    def _emit_event(
+        self,
+        kind: str,
+        result: dict[str, Any],
+        trace_id: str | None,
+        timing: dict[str, float] | None,
+    ) -> None:
+        """Write the request's NDJSON event (heartbeat for batches, estimate
+        for counts), stamped with the trace id and latency when the
+        observability plane is on — extra keys only, never changed ones."""
+        if self.logger is None:
+            return
+        extra: dict[str, Any] = {}
+        if self.observability:
+            if trace_id:
+                extra["trace_id"] = trace_id
+            if timing is not None:
+                extra["queue_wait_seconds"] = timing["queue_wait_seconds"]
+                extra["execute_wall_seconds"] = timing["execute_wall_seconds"]
+        if kind == "count":
+            self.logger.event("estimate", estimate=float(result["triangles"]), **extra)
+            return
+        pending = self._queue.qsize()
+        cumulative = float(result["cumulative_seconds"])
+        rounds = max(1, int(result["round_index"]))
+        self.logger.event(
+            "heartbeat",
+            batch=self.batches_applied - 1,
+            batches_total=self.batches_applied + pending,
+            edges_streamed=int(self.edges_inserted),
+            edges_total=int(self.edges_inserted),
+            peak_routed_bytes=int(self.counter.peak_routed_bytes),
+            sim_elapsed_seconds=cumulative,
+            eta_sim_seconds=float(pending * cumulative / rounds),
+            **extra,
+        )
 
     def _apply(self, kind: str, batch: COOGraph) -> dict[str, Any]:
         """Apply one batch on the worker thread; returns the round's view."""
@@ -149,21 +296,6 @@ class GraphSession:
             self.edges_removed += update.removed_edges
         self.batches_applied += 1
         self.last_active = time.monotonic()
-        if self.logger is not None:
-            pending = self._queue.qsize()
-            rounds = max(1, update.round_index)
-            self.logger.event(
-                "heartbeat",
-                batch=self.batches_applied - 1,
-                batches_total=self.batches_applied + pending,
-                edges_streamed=int(self.edges_inserted),
-                edges_total=int(self.edges_inserted),
-                peak_routed_bytes=int(self.counter.peak_routed_bytes),
-                sim_elapsed_seconds=float(update.cumulative_seconds),
-                eta_sim_seconds=float(
-                    pending * update.cumulative_seconds / rounds
-                ),
-            )
         return update.to_dict()
 
     def _count_now(self) -> dict[str, Any]:
@@ -174,16 +306,22 @@ class GraphSession:
             "sim_seconds": float(self.counter.cumulative_seconds),
         }
         self.last_active = time.monotonic()
-        if self.logger is not None:
-            self.logger.event("estimate", estimate=float(view["triangles"]))
         return view
 
     # -------------------------------------------------------------- admission
+    def _reject(self, code: str, message: str) -> SessionError:
+        """Count (when observing) and build one admission rejection."""
+        if self.observability:
+            self.telemetry.metrics.counter(f"session.rejections.{code}").inc()
+        return SessionError(code, message)
+
     def _check_admission(self, kind: str, num_edges: int) -> None:
         if self._closing or self.counter.closed:
-            raise SessionError("session_closed", f"session {self.name!r} is closing")
+            raise self._reject(
+                "session_closed", f"session {self.name!r} is closing"
+            )
         if self._worker_error is not None:
-            raise SessionError(
+            raise self._reject(
                 "internal_error", f"session {self.name!r} worker died: "
                 f"{type(self._worker_error).__name__}: {self._worker_error}"
             )
@@ -192,19 +330,23 @@ class GraphSession:
                 self._pending_insert_edges + num_edges
             )
             if projected > self.memory_budget_bytes:
-                raise SessionError(
+                raise self._reject(
                     "budget_exceeded",
                     f"insert of {num_edges} edges would put session "
                     f"{self.name!r} at {projected} routed+resident bytes "
                     f"(budget {self.memory_budget_bytes})",
                 )
 
-    def _enqueue(self, kind: str, payload: Any) -> asyncio.Future:
+    def _enqueue(
+        self, kind: str, payload: Any, trace_id: str | None
+    ) -> asyncio.Future:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((kind, payload, future))
+            self._queue.put_nowait(
+                (kind, payload, future, trace_id, time.perf_counter())
+            )
         except asyncio.QueueFull:
-            raise SessionError(
+            raise self._reject(
                 "backpressure",
                 f"session {self.name!r} queue is full "
                 f"({self.max_queue_depth} pending); retry later",
@@ -212,7 +354,13 @@ class GraphSession:
         return future
 
     # ------------------------------------------------------------- public ops
-    async def submit(self, kind: str, src: np.ndarray, dst: np.ndarray) -> dict:
+    async def submit(
+        self,
+        kind: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        trace_id: str | None = None,
+    ) -> dict:
         """Queue one edge batch (``kind`` is ``insert`` or ``delete``)."""
         batch = COOGraph(
             np.asarray(src, dtype=np.int64),
@@ -221,15 +369,15 @@ class GraphSession:
             name=f"{self.name}:batch",
         )
         self._check_admission(kind, batch.num_edges)
-        future = self._enqueue(kind, batch)
+        future = self._enqueue(kind, batch, trace_id)
         if kind == "insert":
             self._pending_insert_edges += batch.num_edges
         return await future
 
-    async def count(self) -> dict:
+    async def count(self, trace_id: str | None = None) -> dict:
         """Exact triangle count after every batch accepted before this call."""
         self._check_admission("count", 0)
-        return await self._enqueue("count", None)
+        return await self._enqueue("count", None, trace_id)
 
     def stats(self) -> dict:
         """Accounting snapshot (admission state, budgets, simulated time)."""

@@ -39,11 +39,13 @@ from .export import (
 from .flamegraph import collapsed_stacks, flamegraph_svg, write_flamegraph
 from .metrics import (
     DEFAULT_FRACTION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_snapshot,
 )
 from .spans import PHASE_NAMES, Span, SpanRecord, Telemetry
 
@@ -57,7 +59,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_FRACTION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "quantile_from_snapshot",
     "RunReport",
     "RUN_REPORT_SCHEMA",
     "ACCEPTED_RUN_REPORT_SCHEMAS",

@@ -29,7 +29,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_FRACTION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "quantile_from_snapshot",
 ]
 
 #: Upper bounds for ratio-like histograms (occupancy, utilization).
@@ -38,6 +40,13 @@ DEFAULT_FRACTION_BUCKETS: tuple[float, ...] = (
 )
 #: Power-of-4 upper bounds for size-like histograms (edges, bytes).
 DEFAULT_SIZE_BUCKETS: tuple[float, ...] = tuple(float(4**k) for k in range(1, 13))
+#: Upper bounds in seconds for latency-like histograms (request queue wait,
+#: op execution).  Spans 100 µs to ~2 min in roughly 3x steps, which covers
+#: both sub-millisecond pings and multi-second monster batches.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 120.0,
+)
 
 
 @dataclass
@@ -125,6 +134,10 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 <= q <= 1)."""
+        return quantile_from_snapshot(self.snapshot(), q)
+
     def snapshot(self) -> dict:
         return {
             "kind": "histogram",
@@ -135,6 +148,42 @@ class Histogram:
             "min": float(self.min_value) if self.count else None,
             "max": float(self.max_value) if self.count else None,
         }
+
+
+def quantile_from_snapshot(snap: dict, q: float) -> float:
+    """Estimate a quantile from a :meth:`Histogram.snapshot` dict.
+
+    Linear interpolation inside the bucket holding the ``q``-th observation,
+    clamped by the recorded ``min``/``max`` so a histogram whose mass sits in
+    one bucket never reports a value outside what it actually saw.  Returns
+    ``0.0`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = int(snap.get("count") or 0)
+    if total <= 0:
+        return 0.0
+    bounds = list(snap["buckets"])
+    counts = list(snap["counts"])
+    lo = snap.get("min")
+    hi = snap.get("max")
+    rank = q * total
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else (hi if hi is not None else lower)
+            fraction = (rank - cumulative) / bucket_count
+            value = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            if lo is not None:
+                value = max(value, float(lo))
+            if hi is not None:
+                value = min(value, float(hi))
+            return float(value)
+        cumulative += bucket_count
+    return float(hi) if hi is not None else 0.0
 
 
 _Instrument = Counter | Gauge | Histogram
@@ -208,4 +257,17 @@ class MetricsRegistry:
             name: m.snapshot()
             for name, m in sorted(self._metrics.items())
             if m.volatile == volatile
+        }
+
+    def export(self) -> dict:
+        """Every instrument, both volatility classes, with its metadata.
+
+        The exposition view (``repro-serve``'s ``metrics`` op, the Prometheus
+        renderer): each entry is the instrument's ``snapshot()`` plus ``help``
+        and ``volatile`` so downstream consumers can filter the wall-clock
+        side out when they need the deterministic subset.
+        """
+        return {
+            name: {**m.snapshot(), "help": m.help, "volatile": bool(m.volatile)}
+            for name, m in sorted(self._metrics.items())
         }

@@ -227,6 +227,29 @@ class Telemetry:
                 )
             )
 
+    def prune(self, max_top_level: int) -> int:
+        """Drop the oldest completed top-level spans beyond ``max_top_level``.
+
+        Long-lived consumers (a service session attaches one span pair per
+        request, forever) call this to bound memory: histograms keep the full
+        history, the tree keeps a rolling window.  Spans still open on the
+        stack are never dropped.  Returns the number removed.
+        """
+        children = self.root.children
+        excess = len(children) - max(0, int(max_top_level))
+        if excess <= 0:
+            return 0
+        open_ids = {id(span) for span in self._stack}
+        kept: list[Span] = []
+        dropped = 0
+        for span in children:
+            if dropped < excess and id(span) not in open_ids:
+                dropped += 1
+            else:
+                kept.append(span)
+        self.root.children = kept
+        return dropped
+
     # ---------------------------------------------------------------- queries
     def find(self, path: str) -> Span | None:
         """First span with the given path (depth-first)."""

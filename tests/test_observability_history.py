@@ -101,9 +101,13 @@ class TestFlatten:
         flat = flatten_numeric(record)
         expected = 0
         for key, value in record.items():
+            if key == "spans":  # mirrors flatten_numeric's default skip list
+                continue
             if isinstance(value, dict):
                 expected += sum(
-                    isinstance(v, (int, float, bool)) for v in value.values()
+                    isinstance(v, (int, float, bool))
+                    for k, v in value.items()
+                    if k != "spans"
                 )
             elif isinstance(value, (int, float, bool)):
                 expected += 1
@@ -344,3 +348,124 @@ class TestConcurrentIngest:
             for row in rows[:3]:
                 stored = history.run(row["id"])
                 assert stored["document"] == canonical
+
+
+def _service_snapshot(requests=3.0, p99=0.002):
+    """A minimal repro-service-metrics/1 document (the metrics-op shape)."""
+    return {
+        "schema": "repro-service-metrics/1",
+        "generated_at": 1000.0,
+        "uptime_seconds": 60.0,
+        "observability": True,
+        "max_sessions": 8,
+        "sessions_open": 1,
+        "service": {
+            "service.requests.insert": {
+                "kind": "counter", "value": requests, "help": "", "volatile": False,
+            },
+            "service.rejections.backpressure": {
+                "kind": "counter", "value": 1.0, "help": "", "volatile": False,
+            },
+            "service.sessions_open": {
+                "kind": "gauge", "value": 1.0, "help": "", "volatile": False,
+            },
+            "service.op_latency_seconds.insert": {
+                "kind": "histogram",
+                "buckets": [0.001, 0.01],
+                "counts": [2, 1, 0],
+                "sum": 0.004,
+                "count": 3,
+                "min": 0.0005,
+                "max": 0.003,
+                "help": "",
+                "volatile": True,
+            },
+        },
+        "latency": {
+            "insert": {"n": 3, "mean": 0.0013, "p50": 0.001, "p99": p99},
+        },
+        "sessions": {
+            "alpha": {
+                "metrics": {
+                    "session.ops.insert": {
+                        "kind": "counter", "value": 3.0, "help": "",
+                        "volatile": False,
+                    },
+                },
+                "latency": {
+                    "insert": {"n": 3, "mean": 0.0013, "p50": 0.001, "p99": p99},
+                },
+                "pending": 0,
+                "resident_bytes": 512,
+                "rounds": 3,
+            },
+        },
+    }
+
+
+class TestServiceSnapshotIngest:
+    def test_one_row_for_service_one_per_session(self, tmp_path):
+        with RunHistory(str(tmp_path / "h.db")) as history:
+            refs = history.ingest(_service_snapshot())
+            rows = {row["id"]: row for row in history.runs()}
+        assert len(refs) == 2
+        kinds = {rows[r]["kind"] for r in refs}
+        assert kinds == {"service", "service-session"}
+        graphs = {rows[r]["graph"] for r in refs}
+        assert graphs == {"service", "session:alpha"}
+
+    def test_samples_cover_instruments_latency_and_scalars(self, tmp_path):
+        with RunHistory(str(tmp_path / "h.db")) as history:
+            service_ref, session_ref = history.ingest(_service_snapshot())
+            service = history.run(service_ref)["samples"]
+            session = history.run(session_ref)["samples"]
+        assert service["service.requests.insert"] == 3.0
+        assert service["service.op_latency_seconds.insert.sum"] == 0.004
+        assert service["service.op_latency_seconds.insert.count"] == 3.0
+        assert service["service.latency.insert.p99"] == 0.002
+        assert service["service.uptime_seconds"] == 60.0
+        assert session["session.ops.insert"] == 3.0
+        assert session["session.latency.insert.p50"] == 0.001
+        assert session["session.resident_bytes"] == 512.0
+
+    def test_latency_drift_warns_but_never_hard_fails(self, tmp_path):
+        with RunHistory(str(tmp_path / "h.db")) as history:
+            for _ in range(6):
+                history.ingest(_service_snapshot())
+            history.ingest(_service_snapshot(requests=50.0, p99=0.5))
+            summary = detect_trends(
+                history, schema="repro-service-metrics/1", min_runs=2
+            )
+        drifted = [
+            e
+            for e in summary["entries"]
+            if e["verdict"] != "ok" and "latency" in e["metric"]
+        ]
+        assert drifted, "the p99 regression must at least warn"
+        assert summary["failures"] == []  # wall-derived series never gate hard
+        assert not summary["failed"]
+
+
+class TestServiceTrendRules:
+    def test_service_series_classify_as_warn(self):
+        for name in (
+            "service.op_latency_seconds.insert.count",
+            "service.latency.insert.p99",
+            "session.latency.count.n",
+            "session.ops.insert",
+            "service.rejections.backpressure",
+            "session.queue_wait_seconds.sum",
+        ):
+            rule = classify_metric(name)
+            assert rule is not None, name
+            assert rule.severity == "warn", name
+            assert rule.direction == "higher_worse", name
+
+    def test_histogram_count_never_claimed_by_exact_count_rule(self):
+        # `…op_latency_seconds.count.count` ends in ".count" but is a
+        # histogram sample total, not a triangle count: the service rules
+        # sit first so the exact-hard rule never sees it.
+        rule = classify_metric("service.op_latency_seconds.count.count")
+        assert rule.severity == "warn"
+        # The real triangle-count metric is still exact-hard.
+        assert classify_metric("result.count").direction == "exact"

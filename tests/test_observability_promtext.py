@@ -1,0 +1,174 @@
+"""Prometheus text exposition of the service metrics snapshot.
+
+Pins the wire-format contract: families are typed and help-ed, per-op
+fan-outs collapse into ``op=`` / ``code=`` labels, histogram buckets are
+cumulative with a ``+Inf`` terminal equal to ``_count``, counters carry the
+``_total`` suffix — and the strict parser accepts everything the renderer
+emits (the CI smoke check) while rejecting malformed exposition.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.promtext import (
+    SERVICE_METRICS_SCHEMA,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    sanitize_metric_name,
+    write_snapshot,
+)
+
+
+def _doc() -> dict:
+    """A hand-built snapshot with every instrument kind in play."""
+    hist = {
+        "kind": "histogram",
+        "buckets": [0.001, 0.01, 0.1],
+        "counts": [2, 1, 0, 1],  # trailing entry is the +inf overflow
+        "sum": 0.5,
+        "count": 4,
+        "min": 0.0004,
+        "max": 0.2,
+        "help": "wall-clock execute time per request",
+        "volatile": True,
+    }
+    return {
+        "schema": SERVICE_METRICS_SCHEMA,
+        "observability": True,
+        "sessions_open": 1,
+        "max_sessions": 8,
+        "uptime_seconds": 12.5,
+        "service": {
+            "service.requests.count": {
+                "kind": "counter", "value": 3.0, "help": "requests served",
+            },
+            "service.requests.insert": {
+                "kind": "counter", "value": 7.0, "help": "requests served",
+            },
+            "service.rejections.backpressure": {
+                "kind": "counter", "value": 2.0, "help": "rejected requests",
+            },
+            "service.sessions_open": {
+                "kind": "gauge", "value": 1.0, "help": "open sessions",
+            },
+        },
+        "latency": {},
+        "sessions": {
+            "alpha": {
+                "metrics": {
+                    "session.ops.insert": {
+                        "kind": "counter", "value": 7.0, "help": "ops",
+                    },
+                    "session.op_latency_seconds.insert": dict(hist),
+                },
+                "latency": {},
+                "pending": 0,
+                "resident_bytes": 4096,
+            }
+        },
+    }
+
+
+class TestRender:
+    def test_label_families_collapse(self):
+        text = render_prometheus(_doc())
+        assert (
+            'repro_service_requests_total{op="count"} 3' in text
+        )
+        assert 'repro_service_requests_total{op="insert"} 7' in text
+        assert 'repro_service_rejections_total{code="backpressure"} 2' in text
+        # One TYPE header per family, not per op.
+        assert text.count("# TYPE repro_service_requests_total counter") == 1
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_doc())
+        lines = [l for l in text.splitlines() if "op_latency" in l and "_bucket" in l]
+        # counts [2, 1, 0] -> cumulative 2, 3, 3; +Inf = total count 4.
+        assert any(l.endswith(" 2") and 'le="0.001"' in l for l in lines)
+        assert any(l.endswith(" 3") and 'le="0.01"' in l for l in lines)
+        assert any(l.endswith(" 4") and 'le="+Inf"' in l for l in lines)
+        assert 'repro_session_op_latency_seconds_sum{op="insert",session="alpha"} 0.5' in text
+        assert 'repro_session_op_latency_seconds_count{op="insert",session="alpha"} 4' in text
+
+    def test_session_label_on_session_instruments(self):
+        text = render_prometheus(_doc())
+        assert 'repro_session_ops_total{op="insert",session="alpha"} 7' in text
+
+    def test_gauge_has_no_total_suffix(self):
+        text = render_prometheus(_doc())
+        assert "repro_service_sessions_open 1" in text
+        assert "repro_service_sessions_open_total" not in text
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("a.b-c d") == "a_b_c_d"
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+    def test_render_json_is_stable(self):
+        doc = _doc()
+        assert render_json(doc) == render_json(json.loads(json.dumps(doc)))
+        assert json.loads(render_json(doc))["schema"] == SERVICE_METRICS_SCHEMA
+
+
+class TestWriteSnapshot:
+    @pytest.mark.parametrize("suffix", ["prom", "txt", "text"])
+    def test_prom_suffixes_get_text_format(self, tmp_path, suffix):
+        path = tmp_path / f"metrics.{suffix}"
+        write_snapshot(str(path), _doc())
+        assert path.read_text().startswith("# ")
+
+    def test_other_suffixes_get_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_snapshot(str(path), _doc())
+        assert json.loads(path.read_text())["schema"] == SERVICE_METRICS_SCHEMA
+
+
+class TestParser:
+    def test_round_trip_accepts_renderer_output(self):
+        families = parse_prometheus(render_prometheus(_doc()))
+        requests = families["repro_service_requests_total"]
+        assert requests["type"] == "counter"
+        assert ("repro_service_requests_total", {"op": "insert"}, 7.0) in (
+            requests["samples"]
+        )
+        hist = families["repro_session_op_latency_seconds"]
+        assert hist["type"] == "histogram"
+        names = {name for name, _, _ in hist["samples"]}
+        assert names == {
+            "repro_session_op_latency_seconds_bucket",
+            "repro_session_op_latency_seconds_sum",
+            "repro_session_op_latency_seconds_count",
+        }
+        inf = [
+            value
+            for name, labels, value in hist["samples"]
+            if labels.get("le") == "+Inf"
+        ]
+        assert inf == [4.0]
+
+    def test_untyped_sample_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus("repro_orphan 1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown TYPE"):
+            parse_prometheus("# TYPE repro_x frobnogram\nrepro_x 1\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus('# TYPE x gauge\nx{op=unquoted} 1\n')
+
+    def test_unparsable_value_rejected(self):
+        with pytest.raises(ValueError, match="unparsable"):
+            parse_prometheus("# TYPE x gauge\nx purple\n")
+
+    def test_quoted_comma_in_label_value_accepted(self):
+        families = parse_prometheus(
+            '# TYPE x gauge\nx{graph="a,b",op="count"} 2\n'
+        )
+        assert families["x"]["samples"] == [
+            ("x", {"graph": "a,b", "op": "count"}, 2.0)
+        ]

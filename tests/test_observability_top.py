@@ -1,0 +1,194 @@
+"""``repro-top``: the pure renderer and the CLI against a live server."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.observability.top import main as top_main, render_top
+from repro.observability.watch import heartbeat_cell
+from repro.service import ServiceClient, ServiceConfig, TriangleService
+
+
+# ----------------------------------------------------------------- harness
+class _ServiceThread:
+    def __init__(self, **config) -> None:
+        self.service = TriangleService(ServiceConfig(port=0, **config))
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "service failed to start"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    @property
+    def url(self) -> str:
+        return f"127.0.0.1:{self.service.port}"
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@contextmanager
+def running_service(**config):
+    server = _ServiceThread(**config)
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def _hist(counts, total, total_sum):
+    return {
+        "kind": "histogram",
+        "buckets": [0.001, 0.01, 0.1],
+        "counts": counts + [0],  # trailing +inf overflow bucket
+        "sum": total_sum,
+        "count": total,
+        "min": 0.0005,
+        "max": 0.05,
+    }
+
+
+def _doc(**overrides) -> dict:
+    doc = {
+        "schema": "repro-service-metrics/1",
+        "observability": True,
+        "uptime_seconds": 42.0,
+        "sessions_open": 1,
+        "max_sessions": 8,
+        "service": {
+            "service.requests.insert": {"kind": "counter", "value": 5.0},
+            "service.requests.count": {"kind": "counter", "value": 2.0},
+            "service.rejections.backpressure": {"kind": "counter", "value": 3.0},
+            "service.rejections.budget_exceeded": {"kind": "counter", "value": 0.0},
+        },
+        "latency": {},
+        "sessions": {
+            "alpha": {
+                "metrics": {
+                    "session.ops.insert": {"kind": "counter", "value": 5.0},
+                    "session.op_latency_seconds.insert": _hist([4, 1, 0], 5, 0.01),
+                    "session.op_latency_seconds.count": _hist([0, 2, 0], 2, 0.008),
+                },
+                "latency": {},
+                "pending": 1,
+                "resident_bytes": 2048,
+            }
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+# ----------------------------------------------------------------- renderer
+class TestRenderTop:
+    def test_header_totals_and_nonzero_rejections_only(self):
+        body = render_top(_doc())
+        head = body.splitlines()[0]
+        assert "up 42s" in head
+        assert "sessions 1/8" in head
+        assert "requests 7" in head
+        assert "backpressure:3" in head
+        assert "budget_exceeded" not in head  # zero counters stay quiet
+
+    def test_session_row_merges_per_op_histograms(self):
+        body = render_top(_doc())
+        row = next(l for l in body.splitlines() if l.startswith("alpha"))
+        assert " 1 " in row  # pending
+        assert "2,048" in row
+        assert " 5 " in row or row.split()[3] == "5"
+        # Combined histogram: 7 samples, 4 in the first bucket -> p50 in
+        # (0, 1ms], p99 in (1ms, 10ms]; both rendered in milliseconds.
+        cols = row.split()
+        p50, p99 = float(cols[4]), float(cols[5])
+        assert 0.0 < p50 <= 1.0
+        assert p50 < p99 <= 10.0
+
+    def test_heartbeat_cell_from_stream(self):
+        streams = {
+            "alpha": [
+                {"event": "run_start", "run_id": "r", "ts": 10.0, "graph": "g"},
+                {
+                    "event": "heartbeat",
+                    "ts": 11.0,
+                    "batch": 2,
+                    "batches_total": 10,
+                    "eta_sim_seconds": 0.004,
+                },
+            ]
+        }
+        body = render_top(_doc(), streams, now=14.0)
+        row = next(l for l in body.splitlines() if l.startswith("alpha"))
+        assert "batch 3/10" in row
+        assert "ETA 4.00ms" in row
+        assert "(3s ago)" in row
+
+    def test_disabled_plane_and_empty_sessions_notes(self):
+        body = render_top(_doc(observability=False, sessions={}))
+        assert "observability plane disabled" in body
+        assert "(no open sessions)" in body
+
+
+class TestHeartbeatCell:
+    def test_no_heartbeat_is_a_dash(self):
+        assert heartbeat_cell({"heartbeat": None}) == "-"
+
+    def test_age_suffix_requires_now(self):
+        view = {
+            "heartbeat": {"batch": 0, "batches_total": 4, "eta_sim_seconds": 0.001},
+            "last_ts": 5.0,
+        }
+        assert heartbeat_cell(view) == "batch 1/4 ETA 1.00ms"
+        assert heartbeat_cell(view, now=7.5).endswith("(2s ago)")
+
+
+# ---------------------------------------------------------------------- CLI
+class TestTopCli:
+    def test_once_against_live_server(self, capsys, triangle_graph):
+        with running_service() as server:
+            with ServiceClient(server.url) as client:
+                client.open_session("live", num_nodes=triangle_graph.num_nodes)
+                client.insert(
+                    "live",
+                    triangle_graph.src.tolist(),
+                    triangle_graph.dst.tolist(),
+                )
+                assert top_main([server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-serve" in out
+        assert "live" in out
+        assert "sessions 1/" in out
+
+    def test_once_with_event_dir_shows_heartbeats(
+        self, tmp_path, capsys, triangle_graph
+    ):
+        with running_service(event_dir=str(tmp_path)) as server:
+            with ServiceClient(server.url) as client:
+                client.open_session("hb", num_nodes=triangle_graph.num_nodes)
+                client.insert(
+                    "hb",
+                    triangle_graph.src.tolist(),
+                    triangle_graph.dst.tolist(),
+                )
+                assert top_main(
+                    [server.url, "--once", "--event-dir", str(tmp_path)]
+                ) == 0
+        out = capsys.readouterr().out
+        row = next(l for l in out.splitlines() if l.startswith("hb"))
+        assert "batch 1/1" in row
+
+    def test_unreachable_server_exits_nonzero(self, capsys):
+        assert top_main(["127.0.0.1:1", "--once", "--timeout", "0.5"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,368 @@
+"""Service observability plane: tracing, metrics, and the parity contract.
+
+The load-bearing guarantees (see docs/observability.md §8):
+
+* every response echoes the request's ``trace_id`` — including error
+  responses — and the client verifies the echo;
+* the ``metrics`` op exposes per-op latency histograms, admission-rejection
+  counters, and per-session gauges that agree with what the server did;
+* the plane is **observation only**: triangle counts, sampled-edge counts,
+  and cumulative simulated seconds are bit-identical with
+  ``observability=False``, and the NDJSON streams differ by extra keys only;
+* a dropped connection surfaces as a typed ``connection_lost``
+  :class:`ServiceError` carrying the in-flight op and trace id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.observability.logjson import load_ndjson
+from repro.service import (
+    CLIENT_ERROR_CODES,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    TriangleService,
+    new_trace_id,
+)
+from repro.service.protocol import ERROR_CODES
+
+
+# ----------------------------------------------------------------- harness
+class _ServiceThread:
+    """Run a TriangleService on its own event loop in a daemon thread."""
+
+    def __init__(self, **config) -> None:
+        self.service = TriangleService(ServiceConfig(port=0, **config))
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "service failed to start"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    @property
+    def url(self) -> str:
+        return f"127.0.0.1:{self.service.port}"
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@contextmanager
+def running_service(**config):
+    server = _ServiceThread(**config)
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def _counter(doc: dict, name: str) -> float:
+    entry = doc.get(name)
+    return 0.0 if entry is None else float(entry.get("value", 0.0))
+
+
+# ------------------------------------------------------------------ tracing
+class TestTracing:
+    def test_every_response_echoes_the_trace_id(self, triangle_graph):
+        with running_service() as server, ServiceClient(server.url) as client:
+            calls = (
+                lambda: client.ping(),
+                lambda: client.open_session(
+                    "t", num_nodes=triangle_graph.num_nodes
+                ),
+                lambda: client.insert(
+                    "t", triangle_graph.src.tolist(), triangle_graph.dst.tolist()
+                ),
+                lambda: client.count("t"),
+                lambda: client.metrics(),
+                lambda: client.close_session("t"),
+            )
+            for call in calls:
+                response = call()
+                assert response["trace_id"] == client.last_trace_id
+
+    def test_caller_supplied_trace_id_wins(self):
+        with running_service() as server, ServiceClient(server.url) as client:
+            trace_id = new_trace_id()
+            response = client.request("ping", trace_id=trace_id)
+            assert response["trace_id"] == trace_id
+
+    def test_error_responses_echo_the_trace_id_too(self):
+        with running_service() as server, ServiceClient(server.url) as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.request("count", session="ghost", trace_id="deadbeef")
+            assert exc_info.value.code == "unknown_session"
+            assert exc_info.value.trace_id == "deadbeef"
+            assert exc_info.value.op == "count"
+
+    def test_trace_id_echoed_even_with_observability_off(self):
+        # Trace echo is protocol-level plumbing, not part of the plane.
+        with running_service(observability=False) as server:
+            with ServiceClient(server.url) as client:
+                response = client.ping()
+                assert response["trace_id"] == client.last_trace_id
+
+    def test_timing_block_present_only_when_observing(self, triangle_graph):
+        edges = (triangle_graph.src.tolist(), triangle_graph.dst.tolist())
+        with running_service() as server, ServiceClient(server.url) as client:
+            client.open_session("on", num_nodes=triangle_graph.num_nodes)
+            response = client.insert("on", *edges)
+            timing = response["timing"]
+            assert set(timing) == {
+                "queue_wait_seconds",
+                "execute_wall_seconds",
+                "execute_sim_seconds",
+            }
+            assert timing["execute_sim_seconds"] > 0.0
+        with running_service(observability=False) as server:
+            with ServiceClient(server.url) as client:
+                client.open_session("off", num_nodes=triangle_graph.num_nodes)
+                response = client.insert("off", *edges)
+                assert "timing" not in response
+
+
+# ------------------------------------------------------------------ metrics
+class TestMetricsOp:
+    def test_snapshot_shape_and_latency_histograms(self, triangle_graph):
+        with running_service() as server, ServiceClient(server.url) as client:
+            client.open_session("m", num_nodes=triangle_graph.num_nodes)
+            client.insert(
+                "m", triangle_graph.src.tolist(), triangle_graph.dst.tolist()
+            )
+            client.count("m")
+            doc = client.metrics()
+        assert doc["schema"] == "repro-service-metrics/1"
+        assert doc["observability"] is True
+        assert doc["sessions_open"] == 1
+        assert _counter(doc["service"], "service.requests.open") == 1
+        assert _counter(doc["service"], "service.requests.insert") == 1
+        assert _counter(doc["service"], "service.requests.count") == 1
+        # The server-side latency summary uses "n" (not "count") so the
+        # flattened trend sample never collides with the exact-match
+        # triangle-count rule.
+        assert doc["latency"]["insert"]["n"] == 1
+        assert doc["latency"]["insert"]["p99"] >= doc["latency"]["insert"]["p50"] >= 0
+        block = doc["sessions"]["m"]
+        ops = block["metrics"]
+        assert _counter(ops, "session.ops.insert") == 1
+        assert _counter(ops, "session.ops.count") == 1
+        hist = ops["session.op_sim_seconds.insert"]
+        assert hist["kind"] == "histogram" and hist["count"] == 1
+        assert hist["sum"] > 0.0  # simulated seconds actually charged
+        assert block["latency"]["insert"]["n"] == 1
+        assert block["resident_bytes"] >= 0
+
+    def test_rejection_counters_match_provoked_failures(self, triangle_graph):
+        with running_service(max_sessions=1) as server:
+            with ServiceClient(server.url) as client:
+                client.open_session("only", num_nodes=triangle_graph.num_nodes)
+                with pytest.raises(ServiceError, match="already open"):
+                    client.open_session("only", num_nodes=4)
+                with pytest.raises(ServiceError):
+                    client.open_session("overflow", num_nodes=4)
+                with pytest.raises(ServiceError):
+                    client.count("ghost")
+                doc = client.metrics()
+        service = doc["service"]
+        assert _counter(service, "service.rejections.duplicate_session") == 1
+        assert _counter(service, "service.rejections.admission_rejected") == 1
+        assert _counter(service, "service.rejections.unknown_session") == 1
+        total = sum(
+            _counter(service, f"service.rejections.{code}")
+            for code in ERROR_CODES
+            if code not in CLIENT_ERROR_CODES
+        )
+        assert total == 3
+
+    def test_invalid_ops_are_counted_without_polluting_op_families(self):
+        with running_service() as server, ServiceClient(server.url) as client:
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request("frobnicate")
+            doc = client.metrics()
+        assert _counter(doc["service"], "service.requests.invalid") == 1
+        assert "service.requests.frobnicate" not in doc["service"]
+
+    def test_session_gauges_track_open_and_close(self):
+        with running_service() as server, ServiceClient(server.url) as client:
+            client.open_session("a", num_nodes=8)
+            client.open_session("b", num_nodes=8)
+            assert client.metrics()["sessions_open"] == 2
+            client.close_session("a")
+            doc = client.metrics()
+            assert doc["sessions_open"] == 1
+            assert _counter(doc["service"], "service.sessions_opened") == 2
+            assert list(doc["sessions"]) == ["b"]
+
+    def test_metrics_op_with_observability_off_reports_disabled(self):
+        with running_service(observability=False) as server:
+            with ServiceClient(server.url) as client:
+                client.open_session("dark", num_nodes=8)
+                doc = client.metrics()
+        assert doc["observability"] is False
+        assert doc["sessions_open"] == 1
+        # No per-session instruments were registered.
+        assert doc["sessions"]["dark"]["metrics"] == {}
+
+    def test_metrics_out_file_written_on_shutdown(self, tmp_path, triangle_graph):
+        out = tmp_path / "snapshot.json"
+        server = _ServiceThread(metrics_out=str(out))
+        try:
+            with ServiceClient(server.url) as client:
+                client.open_session("s", num_nodes=triangle_graph.num_nodes)
+                client.insert(
+                    "s", triangle_graph.src.tolist(), triangle_graph.dst.tolist()
+                )
+        finally:
+            server.stop()
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-service-metrics/1"
+        # Written before sessions close: the per-session block survives.
+        assert "s" in doc["sessions"]
+
+
+# ------------------------------------------------------- observation parity
+class TestObservationOnlyParity:
+    """observability=True must not change a single simulated number."""
+
+    EXTRA_EVENT_KEYS = {"trace_id", "queue_wait_seconds", "execute_wall_seconds"}
+    NONDETERMINISTIC = {"ts", "run_id"}
+
+    def _drive(self, tmp_path, label, observability, graph):
+        event_dir = tmp_path / label
+        event_dir.mkdir()
+        views = {}
+        with running_service(
+            event_dir=str(event_dir), observability=observability
+        ) as server:
+            with ServiceClient(server.url) as client:
+                client.open_session(
+                    "p", num_nodes=graph.num_nodes, num_colors=3, seed=42
+                )
+                client.insert_graph("p", graph, batch_edges=40)
+                views["count"] = client.count("p")
+                views["stats"] = client.stats("p")
+                client.close_session("p")
+        views["events"] = load_ndjson(event_dir / "p.ndjson")
+        return views
+
+    def test_counts_sim_clock_and_events_bit_identical(self, tmp_path, rngs):
+        from repro.graph.generators import erdos_renyi
+
+        graph = erdos_renyi(60, 300, rngs.stream("parity"), name="parity")
+        graph = graph.canonicalize()
+        on = self._drive(tmp_path, "on", True, graph)
+        off = self._drive(tmp_path, "off", False, graph)
+
+        # Simulated results: bit-identical, including the simulated clock.
+        # Only the plane's own additions and honest wall clocks may differ.
+        wall_keys = ("timing", "trace_id", "created_at", "idle_seconds")
+        for view in ("count", "stats"):
+            a = {k: v for k, v in on[view].items() if k not in wall_keys}
+            b = {k: v for k, v in off[view].items() if k not in wall_keys}
+            assert a == b
+
+        # NDJSON: same events in the same order; the plane adds keys only.
+        assert len(on["events"]) == len(off["events"])
+        for ev_on, ev_off in zip(on["events"], off["events"]):
+            assert ev_on["event"] == ev_off["event"]
+            drop = self.EXTRA_EVENT_KEYS | self.NONDETERMINISTIC
+            core_on = {k: v for k, v in ev_on.items() if k not in drop}
+            core_off = {k: v for k, v in ev_off.items() if k not in drop}
+            assert core_on == core_off
+            # And the extra keys appear only on the observed side.
+            assert not (self.EXTRA_EVENT_KEYS & set(ev_off))
+
+
+# ---------------------------------------------------------- connection loss
+class _FlakyServer:
+    """Accepts one connection, then reads/behaves per the chosen failure."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.port = self._sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self) -> None:
+        conn, _ = self._sock.accept()
+        try:
+            if self.mode == "close_before_reply":
+                conn.recv(65536)
+            elif self.mode == "truncated_frame":
+                conn.recv(65536)
+                # Header promises 100 bytes, then the connection dies.
+                conn.sendall(struct.pack(">I", 100) + b'{"ok"')
+            elif self.mode == "hang":
+                conn.recv(65536)
+                self._sock.accept()  # blocks forever (no second connection)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+            self._sock.close()
+
+
+class TestConnectionLost:
+    @pytest.mark.parametrize("mode", ["close_before_reply", "truncated_frame"])
+    def test_dropped_connection_raises_typed_error(self, mode):
+        flaky = _FlakyServer(mode)
+        client = ServiceClient(f"127.0.0.1:{flaky.port}", timeout=5.0)
+        with pytest.raises(ServiceError) as exc_info:
+            client.request("count", session="s")
+        err = exc_info.value
+        assert err.code == "connection_lost"
+        assert err.code in CLIENT_ERROR_CODES
+        assert err.op == "count"
+        assert err.trace_id  # the in-flight id survives into the error
+        assert "count" in str(err)
+
+    def test_socket_is_poisoned_after_loss(self):
+        flaky = _FlakyServer("close_before_reply")
+        client = ServiceClient(f"127.0.0.1:{flaky.port}", timeout=5.0)
+        with pytest.raises(ServiceError, match="connection_lost|lost"):
+            client.request("ping")
+        # The second request must fail fast on the closed socket, not hang.
+        with pytest.raises(ServiceError) as exc_info:
+            client.request("ping")
+        assert exc_info.value.code == "connection_lost"
+
+    def test_per_request_timeout_override(self):
+        flaky = _FlakyServer("hang")
+        client = ServiceClient(f"127.0.0.1:{flaky.port}", timeout=60.0)
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as exc_info:
+            client.request("ping", timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert exc_info.value.code == "connection_lost"
+        assert elapsed < 5.0  # the 0.3s override applied, not the 60s default
+
+    def test_connection_lost_never_reported_by_server(self):
+        # connection_lost is client-side only: the server never pre-registers
+        # or increments a rejection counter for it.
+        with running_service() as server, ServiceClient(server.url) as client:
+            doc = client.metrics()
+        assert "service.rejections.connection_lost" not in doc["service"]

@@ -7,11 +7,13 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.telemetry import (
     DEFAULT_FRACTION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
     DEFAULT_SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_snapshot,
 )
 
 
@@ -115,3 +117,69 @@ class TestRegistry:
         import json
 
         assert json.loads(json.dumps(snap)) == snap
+
+
+class TestQuantiles:
+    def _hist(self):
+        h = Histogram(name="h", buckets=DEFAULT_LATENCY_BUCKETS)
+        return h
+
+    def test_empty_histogram_is_zero(self):
+        assert self._hist().quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ConfigurationError, match="quantile"):
+            self._hist().quantile(1.5)
+        with pytest.raises(ConfigurationError, match="quantile"):
+            quantile_from_snapshot(self._hist().snapshot(), -0.1)
+
+    def test_single_observation_clamps_to_it(self):
+        h = self._hist()
+        h.observe(0.002)
+        # Min/max clamping beats bucket interpolation: every quantile of a
+        # one-sample histogram is that sample.
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 0.002
+
+    def test_quantiles_are_monotone_and_bracket_the_data(self):
+        h = self._hist()
+        values = [0.0002, 0.002, 0.002, 0.02, 0.02, 0.02, 0.2, 2.0]
+        h.observe_many(values)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert min(values) <= qs[0] and qs[-1] <= max(values)
+        # The median of 8 samples with 3 in the 0.01-0.03 bucket lands there.
+        assert 0.01 <= h.quantile(0.5) <= 0.03
+
+    def test_overflow_mass_interpolates_toward_the_recorded_max(self):
+        h = Histogram(name="h", buckets=(0.001,))
+        h.observe_many([5.0, 7.0, 9.0])
+        # All mass overflowed: the +inf bucket interpolates up to max.
+        assert 5.0 <= h.quantile(0.99) <= 9.0
+        assert h.quantile(1.0) == 9.0
+
+
+class TestExport:
+    def test_export_carries_help_and_volatility(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", help="requests served").inc(3)
+        registry.histogram(
+            "lat", buckets=DEFAULT_LATENCY_BUCKETS, help="latency", volatile=True
+        ).observe(0.01)
+        exported = registry.export()
+        assert exported["reqs"]["value"] == 3.0
+        assert exported["reqs"]["help"] == "requests served"
+        assert exported["reqs"]["volatile"] is False
+        assert exported["lat"]["volatile"] is True
+        assert exported["lat"]["kind"] == "histogram"
+
+    def test_export_includes_volatile_instruments_snapshot_does_not(self):
+        registry = MetricsRegistry()
+        registry.gauge("wall", volatile=True).set(1.25)
+        assert "wall" not in registry.snapshot()
+        assert registry.export()["wall"]["value"] == 1.25
+
+    def test_export_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert list(registry.export()) == ["alpha", "zeta"]

@@ -133,3 +133,42 @@ class TestQueries:
         root.children[0].children.append(Span(name="c", path="a/b/c"))
         root.children.append(Span(name="d", path="a/d"))
         assert [s.path for s in root.walk()] == ["a", "a/b", "a/b/c", "a/d"]
+
+
+class TestPrune:
+    def test_keeps_newest_completed_spans(self):
+        tel = Telemetry()
+        for i in range(6):
+            with tel.span(f"req{i}"):
+                pass
+        assert tel.prune(4) == 2
+        assert [c.name for c in tel.root.children] == [
+            "req2", "req3", "req4", "req5",
+        ]
+
+    def test_under_cap_is_a_no_op(self):
+        tel = Telemetry()
+        with tel.span("only"):
+            pass
+        assert tel.prune(4) == 0
+        assert [c.name for c in tel.root.children] == ["only"]
+
+    def test_open_spans_survive(self):
+        tel = Telemetry()
+        for i in range(4):
+            with tel.span(f"req{i}"):
+                pass
+        with tel.span("live"):
+            # `live` is open on the stack: pruning past the cap removes only
+            # the four completed spans and keeps the in-flight one.
+            assert tel.prune(1) == 4
+            names = [c.name for c in tel.root.children]
+        assert names == ["live"]
+
+    def test_bounds_a_long_lived_session(self):
+        tel = Telemetry()
+        for i in range(100):
+            tel.attach_records([SpanRecord(name=f"r{i}", wall_seconds=0.0)])
+            tel.prune(8)
+        assert len(tel.root.children) == 8
+        assert tel.root.children[-1].name == "r99"

@@ -91,3 +91,38 @@ class TestValidateCli:
         _, report, complete, _ = artifacts
         assert validate_main([str(report), str(complete), "--quiet"]) == 0
         assert capsys.readouterr().out == ""
+
+
+class TestEmptyInputs:
+    """An empty input set is a hard failure, never a silent exit 0."""
+
+    def test_empty_glob_fails_with_clear_message(self, tmp_path, capsys):
+        rc = validate_main([str(tmp_path / "nothing" / "*.ndjson")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "matched no files" in err
+        assert "no artifacts to validate" in err
+
+    def test_empty_glob_fatal_even_when_other_artifacts_pass(
+        self, artifacts, capsys
+    ):
+        tmp_path, report, *_ = artifacts
+        rc = validate_main([str(report), str(tmp_path / "missing-*.json")])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "ok  " in captured.out  # the report itself validated
+        assert "matched no files" in captured.err
+
+    def test_literal_missing_path_still_reported_per_file(self, tmp_path, capsys):
+        # Non-glob paths keep the old behavior: validated (and failed) as
+        # unreadable artifacts rather than pre-flight glob errors.
+        rc = validate_main([str(tmp_path / "no-such.json")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "unreadable" in out
+
+    def test_multiple_empty_globs_each_reported(self, tmp_path, capsys):
+        rc = validate_main([str(tmp_path / "*.json"), str(tmp_path / "*.ndjson")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("matched no files") == 2

@@ -10,15 +10,23 @@ promises from the outside:
   (and to the :func:`~repro.graph.triangles.count_triangles` oracle);
 * a delete round reports the logical edges removed and restores the count
   of the remaining graph;
+* every response echoes the request's ``trace_id``;
+* the ``metrics`` op reports non-empty latency histograms, and its
+  rejection counters equal the admission failures this script deliberately
+  provokes (duplicate open, session-cap overflow, unknown session);
+* the Prometheus text rendering of the snapshot parses cleanly, and
+  ``repro-top --once`` renders a dashboard against the live server;
 * each session's NDJSON event stream is schema-valid and join-complete
   (``repro-validate --require-complete`` exits 0).
 
 Run it locally with ``python tools/service_smoke.py``; exits non-zero on
-any violation.
+any violation.  ``--metrics-json`` / ``--metrics-prom`` save the scraped
+snapshot for artifact upload and ``repro-history`` ingestion in CI.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import subprocess
 import sys
@@ -33,8 +41,14 @@ import numpy as np  # noqa: E402
 from repro.core.dynamic import DynamicPimCounter  # noqa: E402
 from repro.graph.generators import erdos_renyi  # noqa: E402
 from repro.graph.triangles import count_triangles  # noqa: E402
+from repro.observability.promtext import (  # noqa: E402
+    parse_prometheus,
+    render_prometheus,
+    write_snapshot,
+)
+from repro.observability.top import main as top_main  # noqa: E402
 from repro.observability.validate import main as validate_main  # noqa: E402
-from repro.service import ServiceClient, wait_ready  # noqa: E402
+from repro.service import ServiceClient, ServiceError, wait_ready  # noqa: E402
 
 BATCH = 64
 SESSIONS = (
@@ -46,19 +60,94 @@ SESSIONS = (
 
 def drive_session(url: str, name: str, graph, colors: int, seed: int, out: dict):
     with ServiceClient(url) as client:
-        client.open_session(
+        responses = []
+        responses.append(client.open_session(
             name, num_nodes=graph.num_nodes, num_colors=colors, seed=seed
-        )
+        ))
         client.insert_graph(name, graph, batch_edges=BATCH)
         view = client.count(name)
+        responses.append(view)
         half = graph.slice(0, graph.num_edges // 2)
         removed = client.delete(name, half.src, half.dst)
         after = client.count(name)
-        client.close_session(name)
+        responses.append(client.close_session(name))
+        # The client already verifies each echo against the id it sent;
+        # assert the field is actually present on the wire too.
+        for response in responses:
+            assert response.get("trace_id"), f"{name}: response missing trace_id"
+        assert responses[-1]["trace_id"] == client.last_trace_id
     out[name] = {"full": view, "removed": removed, "after": after}
 
 
-def main() -> int:
+def provoke_rejections(url: str) -> dict[str, int]:
+    """Deliberately trip admission control; returns expected counter deltas."""
+    provoked = {"duplicate_session": 0, "admission_rejected": 0,
+                "unknown_session": 0}
+    with ServiceClient(url) as client:
+        # Fill the 4-session cap (the two smoke sessions are closed by now).
+        for i in range(4):
+            client.open_session(f"filler{i}", num_nodes=8)
+        for code, op in (
+            ("duplicate_session", lambda: client.open_session("filler0", num_nodes=8)),
+            ("admission_rejected", lambda: client.open_session("overflow", num_nodes=8)),
+            ("unknown_session", lambda: client.count("ghost")),
+        ):
+            try:
+                op()
+            except ServiceError as exc:
+                assert exc.code == code, f"expected {code}, got {exc.code}"
+                assert exc.trace_id, f"{code}: rejection lost its trace_id"
+                provoked[code] += 1
+            else:
+                raise AssertionError(f"{code}: rejection did not trigger")
+        for i in range(4):
+            client.close_session(f"filler{i}")
+    return provoked
+
+
+def check_metrics(url: str, provoked: dict[str, int], args) -> None:
+    with ServiceClient(url) as client:
+        doc = client.metrics()
+    assert doc["schema"] == "repro-service-metrics/1", doc.get("schema")
+    service = doc["service"]
+    for code, expected in provoked.items():
+        got = service[f"service.rejections.{code}"]["value"]
+        assert got == expected, (
+            f"rejections.{code}: scraped {got}, provoked {expected}"
+        )
+    # Non-empty latency data: both smoke sessions inserted and counted.
+    for op in ("open", "insert", "count", "close"):
+        hist = service[f"service.op_latency_seconds.{op}"]
+        assert hist["count"] > 0, f"empty latency histogram for {op!r}"
+    assert doc["latency"]["insert"]["p99"] >= doc["latency"]["insert"]["p50"] > 0
+    # The Prometheus rendering must survive the strict parser.
+    families = parse_prometheus(render_prometheus(doc))
+    assert "repro_service_op_latency_seconds" in families
+    assert any(
+        name.endswith("_bucket")
+        for name, _, _ in families["repro_service_op_latency_seconds"]["samples"]
+    )
+    if args.metrics_json:
+        write_snapshot(args.metrics_json, doc)
+        print(f"metrics snapshot (JSON) -> {args.metrics_json}")
+    if args.metrics_prom:
+        write_snapshot(args.metrics_prom, doc)
+        print(f"metrics snapshot (Prometheus text) -> {args.metrics_prom}")
+    print(
+        "metrics OK: rejection counters match provoked failures "
+        f"({sum(provoked.values())}), latency histograms non-empty"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="save the scraped metrics snapshot as JSON "
+                             "(the form repro-history ingests)")
+    parser.add_argument("--metrics-prom", default=None, metavar="PATH",
+                        help="save the snapshot in Prometheus text format")
+    args = parser.parse_args(argv)
+
     graphs = {
         name: erdos_renyi(
             n, m, np.random.default_rng(seed), name=name
@@ -130,6 +219,14 @@ def main() -> int:
                     f"parity OK: session={name} triangles={truth} "
                     f"after-delete={got['after']['triangles']}"
                 )
+
+            provoked = provoke_rejections(url)
+            check_metrics(url, provoked, args)
+            rc = top_main([url, "--once", "--event-dir", events])
+            if rc != 0:
+                print("repro-top --once failed against the live server",
+                      file=sys.stderr)
+                return rc
         finally:
             server.terminate()
             server.wait(timeout=30)
